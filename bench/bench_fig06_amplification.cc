@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reproduces Fig 6: read/write amplification scores vs PC-Block
+ * size.
+ *
+ * The amplification score is the paper's counter-free estimate:
+ * latency ratio of a buffer-overflow run to a buffer-fit run at the
+ * same block size. It falls toward 1 as the block size approaches
+ * the buffer's entry size:
+ *  (a) read: RMW-buffer curve knees at 256B, AIT-buffer curve at
+ *      4KB;
+ *  (b) write: WPQ curve knees at its 512B flush granule, LSQ curve
+ *      at the 256B combining granule.
+ */
+
+#include "bench/bench_util.hh"
+#include "lens/probers.hh"
+#include "nvram/vans_system.hh"
+
+using namespace vans;
+using namespace vans::bench;
+
+int
+main()
+{
+    banner("Figure 6", "read/write amplification scores (LENS)");
+
+    EventQueue eq;
+    nvram::VansSystem sys(eq, nvram::NvramConfig::optaneDefault());
+    lens::Driver drv(sys);
+
+    lens::BufferProberParams bp;
+    bp.maxRegion = 64ull << 20;
+    bp.warmupLines = 8000;
+    bp.measureLines = 2500;
+    auto probe = lens::runBufferProber(drv, bp);
+
+    std::printf("\n(a) read amplification scores\n");
+    printCurves({probe.readAmpL1, probe.readAmpL2}, "PC-Block");
+    std::printf("detected entry sizes: RMW=%s AIT=%s\n\n",
+                formatSize(probe.readEntrySizeL1).c_str(),
+                formatSize(probe.readEntrySizeL2).c_str());
+
+    check("RMW read-amp score declines with block size",
+          probe.readAmpL1.points().front().y >
+              probe.readAmpL1.points().back().y);
+    check("RMW entry size detected in the 128-512B class",
+          probe.readEntrySizeL1 >= 128 &&
+              probe.readEntrySizeL1 <= 512);
+    check("AIT read-amp score declines with block size",
+          probe.readAmpL2.points().front().y >
+              probe.readAmpL2.points().back().y);
+    check("AIT entry size detected in the 2-4KB class",
+          probe.readEntrySizeL2 >= 2048 &&
+              probe.readEntrySizeL2 <= 4096);
+    check("small blocks amplify reads at the AIT (score > 1.5)",
+          probe.readAmpL2.points().front().y > 1.5);
+
+    std::printf("(b) write amplification scores\n");
+    printCurves({probe.writeAmpWpq, probe.writeAmpLsq}, "PC-Block");
+
+    check("WPQ write-amp score declines toward its flush granule",
+          !probe.writeAmpWpq.empty() &&
+              probe.writeAmpWpq.points().front().y >
+                  probe.writeAmpWpq.valueAt(512));
+    check("LSQ write-amp score reaches ~1 at the 256B combining "
+          "granule",
+          !probe.writeAmpLsq.empty() &&
+              probe.writeAmpLsq.valueAt(256) <
+                  probe.writeAmpLsq.points().front().y * 1.05);
+
+    return finish();
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Simulator-performance microbenchmarks (google-benchmark): event
+ * throughput of the kernel and end-to-end simulated accesses per
+ * wall second for the main timing models. Useful to spot regressions
+ * in the simulator itself, not in the modeled hardware.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/dram_system.hh"
+#include "common/event_queue.hh"
+#include "common/logging.hh"
+#include "lens/driver.hh"
+#include "nvram/vans_system.hh"
+
+using namespace vans;
+
+namespace
+{
+
+void
+BM_EventQueue(benchmark::State &state)
+{
+    setQuiet(true);
+    for (auto _ : state) {
+        EventQueue eq;
+        std::uint64_t fired = 0;
+        for (int i = 0; i < 1000; ++i) {
+            eq.schedule(static_cast<Tick>(i) * 10,
+                        [&fired] { ++fired; });
+        }
+        eq.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueue);
+
+void
+BM_VansReadHit(benchmark::State &state)
+{
+    setQuiet(true);
+    EventQueue eq;
+    nvram::VansSystem sys(eq, nvram::NvramConfig::optaneDefault());
+    lens::Driver drv(sys);
+    drv.read(0); // Warm the RMW buffer.
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(drv.read(0));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VansReadHit);
+
+void
+BM_VansWriteStream(benchmark::State &state)
+{
+    setQuiet(true);
+    EventQueue eq;
+    nvram::VansSystem sys(eq, nvram::NvramConfig::optaneDefault());
+    lens::Driver drv(sys);
+    std::vector<Addr> addrs;
+    for (Addr a = 0; a < 64 * 64; a += 64)
+        addrs.push_back(a);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(drv.streamWrites(addrs, 16));
+    }
+    state.SetItemsProcessed(state.iterations() * addrs.size());
+}
+BENCHMARK(BM_VansWriteStream);
+
+void
+BM_DramRandomRead(benchmark::State &state)
+{
+    setQuiet(true);
+    EventQueue eq;
+    baselines::DramMainMemory mem(
+        eq, baselines::DramMainMemory::ddr4Params());
+    lens::Driver drv(mem);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(drv.read(a));
+        a = (a + 64 * 1237) % (1 << 28);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramRandomRead);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+#include "bench/bench_util.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace vans::bench
+{
+
+namespace
+{
+unsigned checksRun = 0;
+unsigned checksPassed = 0;
+} // namespace
+
+void
+banner(const std::string &exp, const std::string &what)
+{
+    setQuiet(true);
+    std::printf("================================================="
+                "=====================\n");
+    std::printf("%s -- %s\n", exp.c_str(), what.c_str());
+    std::printf("(absolute reference values are approximate "
+                "digitizations of the paper's\n figures; shape checks "
+                "below are the reproduction criteria)\n");
+    std::printf("================================================="
+                "=====================\n");
+}
+
+bool
+check(const std::string &claim, bool ok)
+{
+    ++checksRun;
+    checksPassed += ok ? 1 : 0;
+    std::printf("  [%s] %s\n", ok ? "OK " : "FAIL", claim.c_str());
+    return ok;
+}
+
+int
+finish()
+{
+    std::printf("\nshape checks: %u/%u passed\n", checksPassed,
+                checksRun);
+    return checksPassed == checksRun ? 0 : 1;
+}
+
+void
+printCurves(const std::vector<Curve> &curves,
+            const std::string &x_label)
+{
+    if (curves.empty() || curves.front().empty())
+        return;
+    TextTable t([&] {
+        std::vector<std::string> head{x_label};
+        for (const auto &c : curves)
+            head.push_back(c.name());
+        return head;
+    }());
+    const auto &xs = curves.front();
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        std::vector<std::string> row;
+        row.push_back(
+            formatSize(static_cast<std::uint64_t>(xs[i].x)));
+        for (const auto &c : curves) {
+            row.push_back(i < c.size() ? fmtDouble(c[i].y, 1)
+                                       : std::string("-"));
+        }
+        t.addRow(row);
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("\n%s\n", asciiChart(curves).c_str());
+}
+
+Curve
+optaneLoadReference(const std::vector<std::uint64_t> &regions)
+{
+    Curve c("optane-ld(ref)");
+    for (std::uint64_t r : regions) {
+        double y = r <= (16u << 10) ? 175.0
+                   : r <= (16u << 20) ? 305.0
+                                      : 410.0;
+        c.add(static_cast<double>(r), y);
+    }
+    return c;
+}
+
+Curve
+optaneStoreReference(const std::vector<std::uint64_t> &regions)
+{
+    Curve c("optane-st(ref)");
+    for (std::uint64_t r : regions) {
+        double y = r <= 512 ? 10.0 : r <= (4u << 10) ? 45.0 : 160.0;
+        c.add(static_cast<double>(r), y);
+    }
+    return c;
+}
+
+double
+optaneSpeedupReference(const std::string &w)
+{
+    // Approximate reading of Fig 11c's Optane bars (DRAM exec time /
+    // NVRAM exec time per workload).
+    if (w == "mcf" || w == "mcf17")
+        return 2.5;
+    if (w == "lbm")
+        return 2.8;
+    if (w == "gcc17")
+        return 1.9;
+    if (w == "libquantum")
+        return 1.3;
+    if (w == "gcc")
+        return 1.2;
+    if (w == "xz17")
+        return 1.25;
+    if (w == "omnetpp" || w == "omnetpp17")
+        return 1.2;
+    if (w == "cactusADM")
+        return 1.2;
+    if (w == "wrf")
+        return 1.15;
+    if (w == "sjeng" || w == "deepsjeng")
+        return 1.1;
+    return 1.2;
+}
+
+} // namespace vans::bench

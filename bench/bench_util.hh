@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared infrastructure for the per-figure/table bench harnesses.
+ *
+ * Each bench binary regenerates one table or figure from the paper's
+ * evaluation: it runs the workload, prints the same rows/series the
+ * paper reports, renders an ASCII chart where the original is a
+ * plot, and evaluates *shape checks* -- the qualitative claims the
+ * reproduction must preserve (who wins, where inflections fall, by
+ * roughly what factor).
+ *
+ * Reference curves: absolute Optane numbers come from our
+ * digitization of the published figures (the hardware itself is not
+ * available); they are approximations and marked as such in the
+ * output and in EXPERIMENTS.md.
+ */
+
+#ifndef VANS_BENCH_BENCH_UTIL_HH
+#define VANS_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/ascii_chart.hh"
+#include "common/curve.hh"
+
+namespace vans::bench
+{
+
+/** Print the figure/table banner. */
+void banner(const std::string &exp, const std::string &what);
+
+/** Record + print one shape check; returns its truth. */
+bool check(const std::string &claim, bool ok);
+
+/** Print the pass/fail summary; returns process exit code. */
+int finish();
+
+/** Print a curve set as an aligned x/y table. */
+void printCurves(const std::vector<Curve> &curves,
+                 const std::string &x_label);
+
+/**
+ * Paper Fig 1b / 5a / 9a reference: Optane DIMM pointer-chasing
+ * *load* latency (ns per cache line) as a function of region size
+ * (approximate digitization; 1 DIMM, 64B PC-Block).
+ */
+Curve optaneLoadReference(const std::vector<std::uint64_t> &regions);
+
+/** Same for the store curve (NT stores, no fences). */
+Curve optaneStoreReference(const std::vector<std::uint64_t> &regions);
+
+/** Paper Fig 11c reference: DRAM/NVRAM speedups per workload
+ *  (approximate digitization of the bar chart). */
+double optaneSpeedupReference(const std::string &workload);
+
+} // namespace vans::bench
+
+#endif // VANS_BENCH_BENCH_UTIL_HH

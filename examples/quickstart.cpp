@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Quickstart: build a VANS Optane-style memory system, run a LENS
+ * pointer-chasing sweep against it, and print the latency curves
+ * with their detected buffer capacities.
+ *
+ * This is the 60-second tour of the whole repo: the simulator
+ * (src/nvram), the profiler (src/lens), and the analysis (common
+ * curve tools) in one sitting.
+ */
+
+#include <cstdio>
+
+#include "common/ascii_chart.hh"
+#include "common/curve.hh"
+#include "common/event_queue.hh"
+#include "lens/driver.hh"
+#include "lens/microbench.hh"
+#include "nvram/vans_system.hh"
+
+using namespace vans;
+
+int
+main()
+{
+    EventQueue eq;
+    nvram::NvramConfig cfg = nvram::NvramConfig::optaneDefault();
+    nvram::VansSystem mem(eq, cfg);
+    lens::Driver drv(mem);
+
+    std::printf("VANS quickstart: pointer-chasing latency sweep\n");
+    std::printf("DIMM: %u, capacity %s, RMW %s, AIT buffer %s\n\n",
+                cfg.numDimms,
+                formatSize(cfg.dimmCapacity).c_str(),
+                formatSize(cfg.rmwEntries * cfg.rmwLineBytes).c_str(),
+                formatSize(static_cast<std::uint64_t>(
+                               cfg.aitBufEntries) *
+                           cfg.aitLineBytes)
+                    .c_str());
+
+    Curve ld("load ns/CL");
+    Curve st("store ns/CL");
+    for (std::uint64_t region : logSweep(64, 256ull << 20, 4)) {
+        lens::PtrChaseParams pc;
+        pc.regionBytes = region;
+        pc.blockBytes = 64;
+        pc.warmupLines = 6000;
+        pc.measureLines = 4000;
+        pc.seed = region;
+        auto r = lens::ptrChase(drv, pc);
+        ld.add(static_cast<double>(region), r.nsPerLine);
+
+        pc.writeMode = true;
+        auto w = lens::ptrChase(drv, pc);
+        st.add(static_cast<double>(region), w.nsPerLine);
+        drv.fence();
+
+        std::printf("  region %8s   load %7.1f ns/CL   store %7.1f "
+                    "ns/CL\n",
+                    formatSize(region).c_str(), r.nsPerLine,
+                    w.nsPerLine);
+    }
+
+    std::printf("\n%s\n", asciiChart({ld, st}).c_str());
+
+    auto rd_infl = ld.findInflections(0.22);
+    auto wr_infl = st.findInflections(0.22);
+    std::printf("read buffer capacities (inflections): ");
+    for (double x : rd_infl)
+        std::printf("%s ",
+                    formatSize(static_cast<std::uint64_t>(x)).c_str());
+    std::printf("\nwrite queue capacities (inflections): ");
+    for (double x : wr_infl)
+        std::printf("%s ",
+                    formatSize(static_cast<std::uint64_t>(x)).c_str());
+    std::printf("\n");
+    return 0;
+}

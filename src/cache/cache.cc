@@ -1,0 +1,127 @@
+#include "cache/cache.hh"
+
+#include "common/logging.hh"
+
+namespace vans::cache
+{
+
+Cache::Cache(const CacheParams &params)
+    : p(params), statGroup(params.name)
+{
+    std::uint64_t lines = p.sizeBytes / p.lineBytes;
+    if (lines % p.ways != 0)
+        fatal("cache %s: size/ways mismatch", p.name.c_str());
+    numSets = static_cast<unsigned>(lines / p.ways);
+    if (!isPowerOf2(numSets))
+        fatal("cache %s: set count must be a power of two",
+              p.name.c_str());
+    sets.resize(numSets);
+    for (auto &s : sets) {
+        s.lines.resize(p.ways);
+        for (unsigned w = 0; w < p.ways; ++w)
+            s.lruOrder.push_back(w);
+    }
+}
+
+std::uint64_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr / p.lineBytes) & (numSets - 1);
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return (addr / p.lineBytes) >> log2i(numSets);
+}
+
+CacheAccessResult
+Cache::access(Addr addr, bool write)
+{
+    CacheAccessResult res;
+    Set &set = sets[setIndex(addr)];
+    Addr tag = tagOf(addr);
+
+    for (auto it = set.lruOrder.begin(); it != set.lruOrder.end();
+         ++it) {
+        Line &l = set.lines[*it];
+        if (l.valid && l.tag == tag) {
+            res.hit = true;
+            l.dirty = l.dirty || write;
+            set.lruOrder.splice(set.lruOrder.begin(), set.lruOrder,
+                                it);
+            statGroup.scalar("hits").inc();
+            return res;
+        }
+    }
+
+    statGroup.scalar("misses").inc();
+    // Fill into the LRU way.
+    unsigned victim = set.lruOrder.back();
+    set.lruOrder.pop_back();
+    Line &l = set.lines[victim];
+    if (l.valid && l.dirty) {
+        res.writeback = true;
+        // Reconstruct the victim address.
+        res.writebackAddr =
+            ((l.tag << log2i(numSets)) | setIndex(addr)) * p.lineBytes;
+        statGroup.scalar("writebacks").inc();
+    }
+    l.valid = true;
+    l.dirty = write;
+    l.tag = tag;
+    set.lruOrder.push_front(victim);
+    return res;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    const Set &set = sets[setIndex(addr)];
+    Addr tag = tagOf(addr);
+    for (const Line &l : set.lines) {
+        if (l.valid && l.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    Set &set = sets[setIndex(addr)];
+    Addr tag = tagOf(addr);
+    for (Line &l : set.lines) {
+        if (l.valid && l.tag == tag) {
+            bool was_dirty = l.dirty;
+            l.valid = false;
+            l.dirty = false;
+            return was_dirty;
+        }
+    }
+    return false;
+}
+
+bool
+Cache::clean(Addr addr)
+{
+    Set &set = sets[setIndex(addr)];
+    Addr tag = tagOf(addr);
+    for (Line &l : set.lines) {
+        if (l.valid && l.tag == tag && l.dirty) {
+            l.dirty = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+double
+Cache::missRate() const
+{
+    double h = static_cast<double>(statGroup.scalarValue("hits"));
+    double m = static_cast<double>(statGroup.scalarValue("misses"));
+    return (h + m) > 0 ? m / (h + m) : 0;
+}
+
+} // namespace vans::cache

@@ -1,0 +1,66 @@
+#include "cache/hierarchy.hh"
+
+namespace vans::cache
+{
+
+Hierarchy::Hierarchy(const HierarchyParams &params)
+    : p(params),
+      l1Cache(params.l1),
+      l2Cache(params.l2),
+      l3Cache(params.l3),
+      tlbUnit(params.tlb)
+{}
+
+HierarchyResult
+Hierarchy::access(Addr addr, bool write)
+{
+    HierarchyResult r;
+    r.tlb = tlbUnit.access(addr);
+
+    auto a1 = l1Cache.access(addr, write);
+    r.chargeNs += p.l1.hitLatencyNs;
+    if (a1.hit) {
+        r.hitLevel = 1;
+        return r;
+    }
+
+    auto a2 = l2Cache.access(addr, false);
+    r.chargeNs += p.l2.hitLatencyNs;
+    if (a2.hit) {
+        r.hitLevel = 2;
+        if (a1.writeback)
+            l2Cache.access(a1.writebackAddr, true);
+        return r;
+    }
+
+    auto a3 = l3Cache.access(addr, false);
+    r.chargeNs += p.l3.hitLatencyNs;
+    // Victim writebacks cascade: L1 dirty victims land in L2, L2
+    // victims in L3, and dirty L3 victims head to memory.
+    if (a1.writeback)
+        l2Cache.access(a1.writebackAddr, true);
+    if (a2.writeback)
+        l3Cache.access(a2.writebackAddr, true);
+    if (a3.hit) {
+        r.hitLevel = 3;
+        return r;
+    }
+
+    r.llcMiss = true;
+    if (a3.writeback) {
+        r.l3Writeback = true;
+        r.writebackAddr = a3.writebackAddr;
+    }
+    return r;
+}
+
+bool
+Hierarchy::clean(Addr addr)
+{
+    bool dirty = l1Cache.clean(addr);
+    dirty = l2Cache.clean(addr) || dirty;
+    dirty = l3Cache.clean(addr) || dirty;
+    return dirty;
+}
+
+} // namespace vans::cache

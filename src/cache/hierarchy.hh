@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Three-level cache hierarchy + TLB bundle with the Table V
+ * configuration as defaults, shared by the CPU core model and the
+ * TLB-tracking experiments (Figs 5d and 7d).
+ */
+
+#ifndef VANS_CACHE_HIERARCHY_HH
+#define VANS_CACHE_HIERARCHY_HH
+
+#include <memory>
+
+#include "cache/cache.hh"
+#include "cache/tlb.hh"
+
+namespace vans::cache
+{
+
+/** Parameters for the whole hierarchy (Table V defaults). */
+struct HierarchyParams
+{
+    CacheParams l1{"l1d", 32 << 10, 8, 64, 1.5};
+    CacheParams l2{"l2", 1 << 20, 16, 64, 5.0};
+    CacheParams l3{"llc", 32 << 20, 16, 64, 16.0};
+    TlbParams tlb{};
+};
+
+/** Result of a full hierarchy access. */
+struct HierarchyResult
+{
+    unsigned hitLevel = 0; ///< 1..3, or 0 = LLC miss (memory).
+    bool llcMiss = false;
+    bool l3Writeback = false; ///< Dirty line left the LLC.
+    Addr writebackAddr = 0;
+    TlbResult tlb;
+    double chargeNs = 0; ///< Cache lookup latency to charge.
+};
+
+/** L1 -> L2 -> L3 with a shared TLB front end. */
+class Hierarchy
+{
+  public:
+    explicit Hierarchy(const HierarchyParams &params = {});
+
+    /** Access @p addr (cacheable). Fills all levels on miss. */
+    HierarchyResult access(Addr addr, bool write);
+
+    /** clwb: clean the line everywhere. @return true if a writeback
+     *  toward memory is due. */
+    bool clean(Addr addr);
+
+    Cache &l1() { return l1Cache; }
+    Cache &l2() { return l2Cache; }
+    Cache &llc() { return l3Cache; }
+    Tlb &tlb() { return tlbUnit; }
+
+  private:
+    HierarchyParams p;
+    Cache l1Cache;
+    Cache l2Cache;
+    Cache l3Cache;
+    Tlb tlbUnit;
+};
+
+} // namespace vans::cache
+
+#endif // VANS_CACHE_HIERARCHY_HH

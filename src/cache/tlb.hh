@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Two-level TLB model (L1 DTLB + STLB) with a page-walk cost, plus
+ * the hook Pre-translation (paper section V-B) uses to inject
+ * entries fetched from the NVRAM DIMM.
+ *
+ * The model is functional (hit/miss + LRU) with latencies charged by
+ * the CPU core; it produces the TLB MPKI curves of Figs 5d, 7d and
+ * 13e.
+ */
+
+#ifndef VANS_CACHE_TLB_HH
+#define VANS_CACHE_TLB_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace vans::cache
+{
+
+/** Parameters for one TLB level. */
+struct TlbParams
+{
+    std::string name = "tlb";
+    unsigned l1Entries = 64;
+    unsigned l1Ways = 4;
+    unsigned stlbEntries = 1536;
+    unsigned stlbWays = 12;
+    std::uint64_t pageBytes = 4096;
+};
+
+/** Result of one translation. */
+struct TlbResult
+{
+    bool l1Hit = false;
+    bool stlbHit = false;
+    bool walk = false; ///< Full page-table walk needed.
+};
+
+/** L1 + STLB with LRU replacement per set. */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbParams &params);
+
+    /** Translate the page of @p addr, filling on miss. */
+    TlbResult access(Addr addr);
+
+    /**
+     * Install a translation directly (Pre-translation delivery: the
+     * TLB entry arrives with the data from the NVRAM DIMM).
+     * @return true if the page was not already present.
+     */
+    bool install(Addr addr);
+
+    /** True if the page of @p addr hits without side effects. */
+    bool contains(Addr addr) const;
+
+    /** Misses needing a walk / total accesses. */
+    double walkRate() const;
+
+    StatGroup &stats() { return statGroup; }
+
+  private:
+    struct Level
+    {
+        unsigned sets;
+        unsigned ways;
+        // set -> LRU list of page numbers (front = most recent).
+        std::vector<std::list<std::uint64_t>> data;
+
+        bool lookup(std::uint64_t page, bool bump);
+        void insert(std::uint64_t page);
+    };
+
+    std::uint64_t pageOf(Addr addr) const
+    {
+        return addr / p.pageBytes;
+    }
+
+    TlbParams p;
+    Level l1;
+    Level stlb;
+    StatGroup statGroup;
+};
+
+} // namespace vans::cache
+
+#endif // VANS_CACHE_TLB_HH

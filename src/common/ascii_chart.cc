@@ -1,0 +1,116 @@
+#include "common/ascii_chart.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace vans
+{
+
+std::string
+asciiChart(const std::vector<Curve> &curves, unsigned width,
+           unsigned height, bool log_x_labels)
+{
+    static const char glyphs[] = "*o+x#@%&";
+    if (curves.empty() || curves.front().empty())
+        return "(no data)\n";
+
+    double ymax = 0;
+    for (const auto &c : curves)
+        ymax = std::max(ymax, c.maxY());
+    if (ymax <= 0)
+        ymax = 1;
+
+    std::size_t npts = curves.front().size();
+    unsigned cols = std::min<std::size_t>(npts, width);
+
+    std::vector<std::string> grid(height, std::string(cols, ' '));
+    for (std::size_t ci = 0; ci < curves.size(); ++ci) {
+        const auto &c = curves[ci];
+        char g = glyphs[ci % (sizeof(glyphs) - 1)];
+        for (std::size_t i = 0; i < c.size() && i < npts; ++i) {
+            unsigned col = static_cast<unsigned>(
+                i * (cols - 1) / std::max<std::size_t>(npts - 1, 1));
+            double frac = c[i].y / ymax;
+            frac = std::clamp(frac, 0.0, 1.0);
+            unsigned row = height - 1 -
+                static_cast<unsigned>(frac * (height - 1));
+            grid[row][col] = g;
+        }
+    }
+
+    std::ostringstream out;
+    out << fmtDouble(ymax, 1) << " +"
+        << std::string(cols, '-') << '\n';
+    for (const auto &line : grid)
+        out << std::string(8, ' ') << '|' << line << '\n';
+    out << std::string(8, ' ') << '+' << std::string(cols, '-') << '\n';
+    if (log_x_labels) {
+        out << std::string(9, ' ')
+            << formatSize(
+                   static_cast<std::uint64_t>(curves.front()[0].x))
+            << " .. "
+            << formatSize(static_cast<std::uint64_t>(
+                   curves.front()[npts - 1].x))
+            << "  (log-spaced x)\n";
+    }
+    for (std::size_t ci = 0; ci < curves.size(); ++ci) {
+        out << std::string(9, ' ') << glyphs[ci % (sizeof(glyphs) - 1)]
+            << " = " << curves[ci].name() << '\n';
+    }
+    return out.str();
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : head(std::move(header))
+{}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    row.resize(head.size());
+    rows.push_back(std::move(row));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> w(head.size());
+    for (std::size_t i = 0; i < head.size(); ++i)
+        w[i] = head[i].size();
+    for (const auto &r : rows) {
+        for (std::size_t i = 0; i < r.size(); ++i)
+            w[i] = std::max(w[i], r[i].size());
+    }
+
+    auto line = [&](const std::vector<std::string> &r) {
+        std::ostringstream out;
+        for (std::size_t i = 0; i < r.size(); ++i) {
+            out << (i ? "  " : "");
+            out << r[i] << std::string(w[i] - r[i].size(), ' ');
+        }
+        return out.str();
+    };
+
+    std::ostringstream out;
+    out << line(head) << '\n';
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < w.size(); ++i)
+        total += w[i] + (i ? 2 : 0);
+    out << std::string(total, '-') << '\n';
+    for (const auto &r : rows)
+        out << line(r) << '\n';
+    return out.str();
+}
+
+std::string
+fmtDouble(double v, int digits)
+{
+    std::ostringstream out;
+    out.setf(std::ios::fixed);
+    out.precision(digits);
+    out << v;
+    return out.str();
+}
+
+} // namespace vans

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Terminal rendering for experiment output: aligned tables and small
+ * ASCII line charts so the bench binaries can show the reproduced
+ * figure series directly in a terminal.
+ */
+
+#ifndef VANS_COMMON_ASCII_CHART_HH
+#define VANS_COMMON_ASCII_CHART_HH
+
+#include <string>
+#include <vector>
+
+#include "common/curve.hh"
+
+namespace vans
+{
+
+/**
+ * Render one or more curves as an ASCII chart. X positions are taken
+ * from the first curve and treated as log-spaced categories; each
+ * curve gets its own glyph. Y axis is linear from 0 (or minY) to max.
+ */
+std::string asciiChart(const std::vector<Curve> &curves,
+                       unsigned width = 72, unsigned height = 18,
+                       bool log_x_labels = true);
+
+/** Simple fixed-width table renderer. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    void addRow(std::vector<std::string> row);
+    std::string render() const;
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Format a double with @p digits significant decimals. */
+std::string fmtDouble(double v, int digits = 2);
+
+} // namespace vans
+
+#endif // VANS_COMMON_ASCII_CHART_HH

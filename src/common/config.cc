@@ -1,0 +1,220 @@
+#include "common/config.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace vans
+{
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::string
+lower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+} // namespace
+
+Config
+Config::fromString(const std::string &text)
+{
+    Config cfg;
+    std::istringstream in(text);
+    std::string line;
+    std::string section = "global";
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        // Strip comments introduced by '#' or ';'.
+        auto pos = line.find_first_of("#;");
+        if (pos != std::string::npos)
+            line.erase(pos);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        if (line.front() == '[') {
+            if (line.back() != ']')
+                fatal("config line %d: malformed section '%s'", lineno,
+                      line.c_str());
+            section = trim(line.substr(1, line.size() - 2));
+            if (section.empty())
+                fatal("config line %d: empty section name", lineno);
+            continue;
+        }
+        auto eq = line.find('=');
+        if (eq == std::string::npos)
+            fatal("config line %d: expected key = value, got '%s'",
+                  lineno, line.c_str());
+        std::string key = trim(line.substr(0, eq));
+        std::string value = trim(line.substr(eq + 1));
+        if (key.empty())
+            fatal("config line %d: empty key", lineno);
+        cfg.set(section, key, value);
+    }
+    return cfg;
+}
+
+Config
+Config::fromFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open config file '%s'", path.c_str());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return fromString(ss.str());
+}
+
+void
+Config::set(const std::string &section, const std::string &key,
+            const std::string &value)
+{
+    data[section][key] = value;
+}
+
+bool
+Config::has(const std::string &section, const std::string &key) const
+{
+    auto s = data.find(section);
+    if (s == data.end())
+        return false;
+    return s->second.count(key) > 0;
+}
+
+std::string
+Config::get(const std::string &section, const std::string &key,
+            const std::string &def) const
+{
+    auto s = data.find(section);
+    if (s == data.end())
+        return def;
+    auto k = s->second.find(key);
+    if (k == s->second.end())
+        return def;
+    return k->second;
+}
+
+std::uint64_t
+Config::getU64(const std::string &section, const std::string &key,
+               std::uint64_t def) const
+{
+    if (!has(section, key))
+        return def;
+    return parseSize(get(section, key, ""));
+}
+
+double
+Config::getDouble(const std::string &section, const std::string &key,
+                  double def) const
+{
+    if (!has(section, key))
+        return def;
+    return std::strtod(get(section, key, "").c_str(), nullptr);
+}
+
+bool
+Config::getBool(const std::string &section, const std::string &key,
+                bool def) const
+{
+    if (!has(section, key))
+        return def;
+    std::string v = lower(get(section, key, ""));
+    if (v == "true" || v == "yes" || v == "1" || v == "on")
+        return true;
+    if (v == "false" || v == "no" || v == "0" || v == "off")
+        return false;
+    fatal("config [%s] %s: '%s' is not a boolean", section.c_str(),
+          key.c_str(), v.c_str());
+}
+
+std::string
+Config::require(const std::string &section, const std::string &key) const
+{
+    if (!has(section, key))
+        fatal("config: missing required key [%s] %s", section.c_str(),
+              key.c_str());
+    return get(section, key, "");
+}
+
+std::vector<std::string>
+Config::sections() const
+{
+    std::vector<std::string> out;
+    out.reserve(data.size());
+    for (const auto &kv : data)
+        out.push_back(kv.first);
+    return out;
+}
+
+std::vector<std::string>
+Config::keys(const std::string &section) const
+{
+    std::vector<std::string> out;
+    auto s = data.find(section);
+    if (s == data.end())
+        return out;
+    out.reserve(s->second.size());
+    for (const auto &kv : s->second)
+        out.push_back(kv.first);
+    return out;
+}
+
+std::string
+Config::toString() const
+{
+    std::ostringstream out;
+    for (const auto &sec : data) {
+        out << '[' << sec.first << "]\n";
+        for (const auto &kv : sec.second)
+            out << kv.first << " = " << kv.second << '\n';
+        out << '\n';
+    }
+    return out.str();
+}
+
+std::uint64_t
+Config::parseSize(const std::string &value)
+{
+    std::string v = trim(value);
+    if (v.empty())
+        fatal("cannot parse empty size value");
+    char *end = nullptr;
+    double num = std::strtod(v.c_str(), &end);
+    std::uint64_t mult = 1;
+    std::string suffix = lower(trim(std::string(end)));
+    if (suffix == "k" || suffix == "kb" || suffix == "kib") {
+        mult = 1ull << 10;
+    } else if (suffix == "m" || suffix == "mb" || suffix == "mib") {
+        mult = 1ull << 20;
+    } else if (suffix == "g" || suffix == "gb" || suffix == "gib") {
+        mult = 1ull << 30;
+    } else if (!suffix.empty()) {
+        fatal("unknown size suffix '%s' in '%s'", suffix.c_str(),
+              v.c_str());
+    }
+    return static_cast<std::uint64_t>(num * static_cast<double>(mult));
+}
+
+} // namespace vans

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Minimal INI-style configuration store.
+ *
+ * Sections are written as [section]; entries as key = value. Values
+ * accept size suffixes (K/M/G, powers of two) and the usual booleans.
+ * A Config can be built programmatically or parsed from a string or
+ * file; defaults are queried with the get(section, key, default)
+ * family, while require() makes a missing key a fatal() user error.
+ */
+
+#ifndef VANS_COMMON_CONFIG_HH
+#define VANS_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vans
+{
+
+/** INI-style key/value configuration organised by section. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Parse INI text; later duplicate keys override earlier ones. */
+    static Config fromString(const std::string &text);
+
+    /** Parse an INI file; fatal() on I/O failure. */
+    static Config fromFile(const std::string &path);
+
+    /** Set (or override) a value. */
+    void set(const std::string &section, const std::string &key,
+             const std::string &value);
+
+    /** True if the key exists. */
+    bool has(const std::string &section, const std::string &key) const;
+
+    /** String lookup with default. */
+    std::string get(const std::string &section, const std::string &key,
+                    const std::string &def) const;
+
+    /** Integer lookup with default; accepts K/M/G suffixes. */
+    std::uint64_t getU64(const std::string &section,
+                         const std::string &key,
+                         std::uint64_t def) const;
+
+    /** Floating-point lookup with default. */
+    double getDouble(const std::string &section, const std::string &key,
+                     double def) const;
+
+    /** Boolean lookup with default (true/false/yes/no/1/0). */
+    bool getBool(const std::string &section, const std::string &key,
+                 bool def) const;
+
+    /** String lookup; fatal() if missing. */
+    std::string require(const std::string &section,
+                        const std::string &key) const;
+
+    /** All section names, sorted. */
+    std::vector<std::string> sections() const;
+
+    /** All keys within a section, sorted. */
+    std::vector<std::string> keys(const std::string &section) const;
+
+    /** Render back to INI text (sorted, normalised). */
+    std::string toString() const;
+
+    /**
+     * Parse a value with optional binary size suffix:
+     * "16K" -> 16384, "4M", "2G", plain integers otherwise.
+     */
+    static std::uint64_t parseSize(const std::string &value);
+
+  private:
+    std::map<std::string, std::map<std::string, std::string>> data;
+};
+
+} // namespace vans
+
+#endif // VANS_COMMON_CONFIG_HH

@@ -1,0 +1,52 @@
+#include "common/event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace vans
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    if (when < now)
+        panic("event scheduled in the past (when=%llu now=%llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(now));
+    heap.push(Entry{when, nextSeq++, std::move(cb)});
+}
+
+bool
+EventQueue::step()
+{
+    if (heap.empty())
+        return false;
+    // priority_queue::top() returns a const ref; move the callback out
+    // via a copy of the entry before popping.
+    Entry e = heap.top();
+    heap.pop();
+    now = e.when;
+    ++numExecuted;
+    e.cb();
+    return true;
+}
+
+Tick
+EventQueue::run()
+{
+    while (step()) {
+    }
+    return now;
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    while (!heap.empty() && heap.top().when <= limit)
+        step();
+    if (now < limit && heap.empty())
+        return now;
+    now = std::max(now, limit);
+    return now;
+}
+
+} // namespace vans

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue owns global simulated time. Components schedule
+ * closures at absolute or relative ticks; the queue executes them in
+ * (tick, insertion-order) order. Events scheduled for the same tick
+ * therefore run in FIFO order, which keeps component handshakes
+ * deterministic.
+ */
+
+#ifndef VANS_COMMON_EVENT_QUEUE_HH
+#define VANS_COMMON_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace vans
+{
+
+/** A discrete-event queue with a global tick counter. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick curTick() const { return now; }
+
+    /** Schedule @p cb at absolute tick @p when (must be >= curTick). */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb @p delta ticks from now. */
+    void scheduleAfter(Tick delta, Callback cb)
+    {
+        schedule(now + delta, std::move(cb));
+    }
+
+    /** Run until the queue drains. @return final tick. */
+    Tick run();
+
+    /**
+     * Run until the queue drains or @p limit is reached (events at
+     * exactly @p limit still execute). @return final tick.
+     */
+    Tick runUntil(Tick limit);
+
+    /** Execute a single event. @return false if the queue was empty. */
+    bool step();
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap.size(); }
+
+    /** True when no events are pending. */
+    bool empty() const { return heap.empty(); }
+
+    /** Total events executed since construction. */
+    std::uint64_t executed() const { return numExecuted; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    Tick now = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t numExecuted = 0;
+};
+
+} // namespace vans
+
+#endif // VANS_COMMON_EVENT_QUEUE_HH

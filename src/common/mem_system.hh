@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The abstract memory-system interface every timing model implements.
+ *
+ * LENS microbenchmarks, the CPU model, and the bench harnesses all
+ * drive memory through this interface, which is exactly the property
+ * that lets LENS profile *any* backend: the real paper profiles Optane
+ * hardware; here the same prober logic profiles VANS and the baseline
+ * models through identical request streams.
+ */
+
+#ifndef VANS_COMMON_MEM_SYSTEM_HH
+#define VANS_COMMON_MEM_SYSTEM_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/event_queue.hh"
+#include "common/request.hh"
+
+namespace vans
+{
+
+/** Abstract timing memory system. */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(EventQueue &eq) : eventq(eq) {}
+    virtual ~MemorySystem() = default;
+
+    MemorySystem(const MemorySystem &) = delete;
+    MemorySystem &operator=(const MemorySystem &) = delete;
+
+    /**
+     * Issue a request. The system always accepts it (front-end
+     * admission is unbounded); all contention and queueing shows up
+     * in the completion time delivered through req->onComplete.
+     */
+    virtual void issue(RequestPtr req) = 0;
+
+    /** Short model name used in reports. */
+    virtual std::string name() const = 0;
+
+    /** Total capacity in bytes (for address-range checks). */
+    virtual std::uint64_t capacity() const = 0;
+
+    /** The event queue this system is clocked by. */
+    EventQueue &eventQueue() { return eventq; }
+
+    /** Assign a fresh request id. */
+    std::uint64_t nextRequestId() { return ++lastId; }
+
+  protected:
+    EventQueue &eventq;
+
+  private:
+    std::uint64_t lastId = 0;
+};
+
+} // namespace vans
+
+#endif // VANS_COMMON_MEM_SYSTEM_HH

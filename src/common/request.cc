@@ -1,0 +1,26 @@
+#include "common/request.hh"
+
+namespace vans
+{
+
+const char *
+memOpName(MemOp op)
+{
+    switch (op) {
+      case MemOp::Read:
+        return "read";
+      case MemOp::ReadNT:
+        return "read-nt";
+      case MemOp::Write:
+        return "write";
+      case MemOp::WriteNT:
+        return "write-nt";
+      case MemOp::Clwb:
+        return "clwb";
+      case MemOp::Fence:
+        return "fence";
+    }
+    return "?";
+}
+
+} // namespace vans

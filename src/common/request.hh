@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Memory request descriptor shared by every memory model in the tree.
+ */
+
+#ifndef VANS_COMMON_REQUEST_HH
+#define VANS_COMMON_REQUEST_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/types.hh"
+
+namespace vans
+{
+
+/** Kinds of memory operations a front end can issue. */
+enum class MemOp : std::uint8_t
+{
+    Read,      ///< Regular (cacheable) load.
+    ReadNT,    ///< Non-temporal load (bypasses CPU caches).
+    Write,     ///< Regular store / cache writeback.
+    WriteNT,   ///< Non-temporal store (bypasses CPU caches).
+    Clwb,      ///< Cache-line writeback towards the ADR domain.
+    Fence,     ///< Ordering / persistence fence (mfence + sfence).
+};
+
+/** @return true for the read-kind operations. */
+constexpr bool
+isRead(MemOp op)
+{
+    return op == MemOp::Read || op == MemOp::ReadNT;
+}
+
+/** @return true for the write-kind operations (incl. clwb). */
+constexpr bool
+isWrite(MemOp op)
+{
+    return op == MemOp::Write || op == MemOp::WriteNT ||
+           op == MemOp::Clwb;
+}
+
+/** Human-readable name of a MemOp. */
+const char *memOpName(MemOp op);
+
+struct Request;
+using RequestPtr = std::shared_ptr<Request>;
+
+/**
+ * One memory request. A request semantically completes when:
+ *  - reads: data has returned to the issuer;
+ *  - NT stores / clwb: the data reached the ADR persistence domain
+ *    (accepted into the iMC write pending queue);
+ *  - fences: all prior writes from this issuer are in the ADR domain
+ *    and on-DIMM combining state is flushed.
+ */
+struct Request
+{
+    std::uint64_t id = 0;         ///< Unique id (assigned by issuer).
+    Addr addr = 0;                ///< Physical address.
+    std::uint32_t size = 64;      ///< Bytes (<= cache line for timing).
+    MemOp op = MemOp::Read;
+
+    Tick issueTick = 0;           ///< When the front end issued it.
+    Tick completeTick = 0;        ///< Set when onComplete fires.
+
+    /**
+     * Hint used by Pre-translation (paper section V-B): the request
+     * was marked with mkpt, so the DIMM should return the TLB entry
+     * for the pointer stored at this address along with the data.
+     */
+    bool preTranslate = false;
+
+    /** Completion callback; may be empty. */
+    std::function<void(Request &)> onComplete;
+
+    /** Fire the completion callback exactly once. */
+    void
+    complete(Tick when)
+    {
+        completeTick = when;
+        if (onComplete) {
+            auto cb = std::move(onComplete);
+            onComplete = nullptr;
+            cb(*this);
+        }
+    }
+
+    /** Latency from issue to completion in ticks. */
+    Tick latency() const { return completeTick - issueTick; }
+};
+
+/** Convenience factory. */
+inline RequestPtr
+makeRequest(Addr addr, MemOp op, std::uint32_t size = cacheLineSize)
+{
+    auto r = std::make_shared<Request>();
+    r->addr = addr;
+    r->op = op;
+    r->size = size;
+    return r;
+}
+
+} // namespace vans
+
+#endif // VANS_COMMON_REQUEST_HH

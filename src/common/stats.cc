@@ -1,0 +1,66 @@
+#include "common/stats.hh"
+
+#include <cmath>
+#include <sstream>
+
+namespace vans
+{
+
+double
+StatDistribution::percentile(double p) const
+{
+    if (samples.empty())
+        return 0;
+    std::vector<double> sorted(samples);
+    std::sort(sorted.begin(), sorted.end());
+    if (p <= 0)
+        return sorted.front();
+    if (p >= 1)
+        return sorted.back();
+    double idx = p * static_cast<double>(sorted.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(std::floor(idx));
+    std::size_t hi = static_cast<std::size_t>(std::ceil(idx));
+    double frac = idx - static_cast<double>(lo);
+    return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+double
+StatDistribution::fractionAbove(double threshold) const
+{
+    if (samples.empty())
+        return 0;
+    std::size_t n = 0;
+    for (double v : samples) {
+        if (v > threshold)
+            ++n;
+    }
+    return static_cast<double>(n) / static_cast<double>(samples.size());
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream out;
+    for (const auto &kv : scalars) {
+        out << groupName << '.' << kv.first << " = "
+            << kv.second.value() << '\n';
+    }
+    for (const auto &kv : averages) {
+        out << groupName << '.' << kv.first << " = "
+            << kv.second.mean() << " (n=" << kv.second.count()
+            << ", min=" << kv.second.min()
+            << ", max=" << kv.second.max() << ")\n";
+    }
+    return out.str();
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &kv : scalars)
+        kv.second.reset();
+    for (auto &kv : averages)
+        kv.second.reset();
+}
+
+} // namespace vans

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Lightweight statistics framework.
+ *
+ * Components own Scalar / Average / Histogram stats and register them
+ * with a StatGroup so experiment harnesses can dump everything by
+ * name. Histogram keeps raw samples bounded by reservoir limits so
+ * tail percentiles stay queryable even across very long runs.
+ */
+
+#ifndef VANS_COMMON_STATS_HH
+#define VANS_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vans
+{
+
+/** A monotonically accumulating counter. */
+class StatScalar
+{
+  public:
+    void inc(std::uint64_t n = 1) { total += n; }
+    void set(std::uint64_t v) { total = v; }
+    std::uint64_t value() const { return total; }
+    void reset() { total = 0; }
+
+  private:
+    std::uint64_t total = 0;
+};
+
+/** Running mean / min / max of a double-valued sample stream. */
+class StatAverage
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum += v;
+        ++n;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+
+    double mean() const { return n ? sum / static_cast<double>(n) : 0; }
+    double min() const { return n ? lo : 0; }
+    double max() const { return n ? hi : 0; }
+    std::uint64_t count() const { return n; }
+
+    void
+    reset()
+    {
+        sum = 0;
+        n = 0;
+        lo = std::numeric_limits<double>::max();
+        hi = std::numeric_limits<double>::lowest();
+    }
+
+  private:
+    double sum = 0;
+    std::uint64_t n = 0;
+    double lo = std::numeric_limits<double>::max();
+    double hi = std::numeric_limits<double>::lowest();
+};
+
+/**
+ * Sample distribution that retains individual samples (up to a cap)
+ * so percentiles and tail counts can be computed after a run.
+ */
+class StatDistribution
+{
+  public:
+    explicit StatDistribution(std::size_t max_samples = 1u << 20)
+        : cap(max_samples)
+    {}
+
+    void
+    sample(double v)
+    {
+        avg.sample(v);
+        if (samples.size() < cap)
+            samples.push_back(v);
+    }
+
+    double mean() const { return avg.mean(); }
+    double min() const { return avg.min(); }
+    double max() const { return avg.max(); }
+    std::uint64_t count() const { return avg.count(); }
+
+    /** p in [0,1]; interpolated percentile over retained samples. */
+    double percentile(double p) const;
+
+    /** Fraction of retained samples strictly above @p threshold. */
+    double fractionAbove(double threshold) const;
+
+    const std::vector<double> &raw() const { return samples; }
+
+    void
+    reset()
+    {
+        avg.reset();
+        samples.clear();
+    }
+
+  private:
+    StatAverage avg;
+    std::vector<double> samples;
+    std::size_t cap;
+};
+
+/** Named registry of stats belonging to one component. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string group_name)
+        : groupName(std::move(group_name))
+    {}
+
+    StatScalar &scalar(const std::string &name)
+    {
+        return scalars[name];
+    }
+
+    StatAverage &average(const std::string &name)
+    {
+        return averages[name];
+    }
+
+    const std::string &name() const { return groupName; }
+
+    /** Value of a scalar, 0 if never touched. */
+    std::uint64_t
+    scalarValue(const std::string &name) const
+    {
+        auto it = scalars.find(name);
+        return it == scalars.end() ? 0 : it->second.value();
+    }
+
+    /** Render "group.stat = value" lines. */
+    std::string dump() const;
+
+    void reset();
+
+  private:
+    std::string groupName;
+    std::map<std::string, StatScalar> scalars;
+    std::map<std::string, StatAverage> averages;
+};
+
+} // namespace vans
+
+#endif // VANS_COMMON_STATS_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fundamental simulation types and time/clock helpers.
+ *
+ * The whole simulator runs on a single global time base measured in
+ * ticks, where one tick is one picosecond (the gem5 convention). All
+ * component latencies are expressed in ticks; helpers below convert
+ * from nanoseconds and from clock cycles of arbitrary frequencies.
+ */
+
+#ifndef VANS_COMMON_TYPES_HH
+#define VANS_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace vans
+{
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Physical (CPU-visible) memory address. */
+using Addr = std::uint64_t;
+
+/** Ticks per nanosecond: 1 tick = 1 ps. */
+constexpr Tick tickPerNs = 1000;
+
+/** Convert nanoseconds (possibly fractional) to ticks. */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(tickPerNs));
+}
+
+/** Convert ticks to nanoseconds. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickPerNs);
+}
+
+/**
+ * A simple clock domain: converts cycles of a component running at
+ * a given frequency into global ticks.
+ */
+class ClockDomain
+{
+  public:
+    /** @param mhz Clock frequency in MHz. */
+    explicit ClockDomain(double mhz)
+        : periodTicks(static_cast<Tick>(1e6 / mhz + 0.5))
+    {}
+
+    /** Tick duration of @p cycles clock cycles. */
+    Tick cycles(std::uint64_t n) const { return n * periodTicks; }
+
+    /** Duration of a single cycle in ticks. */
+    Tick period() const { return periodTicks; }
+
+    /** Round @p t up to the next clock edge. */
+    Tick
+    nextEdge(Tick t) const
+    {
+        return ((t + periodTicks - 1) / periodTicks) * periodTicks;
+    }
+
+  private:
+    Tick periodTicks;
+};
+
+/** Cache line size used throughout (bytes). */
+constexpr std::uint32_t cacheLineSize = 64;
+
+/** Align @p addr down to a power-of-two boundary @p align. */
+constexpr Addr
+alignDown(Addr addr, std::uint64_t align)
+{
+    return addr & ~(align - 1);
+}
+
+/** Align @p addr up to a power-of-two boundary @p align. */
+constexpr Addr
+alignUp(Addr addr, std::uint64_t align)
+{
+    return (addr + align - 1) & ~(align - 1);
+}
+
+/** True if @p v is a power of two (and nonzero). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Integer log2 of a power of two. */
+constexpr unsigned
+log2i(std::uint64_t v)
+{
+    unsigned r = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+} // namespace vans
+
+#endif // VANS_COMMON_TYPES_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * DDR4 protocol legality checker.
+ *
+ * Substitutes for the Micron Verilog verification model + Cadence
+ * toolchain the paper uses (section IV-B): given the command trace a
+ * controller emitted, verify that every inter-command timing and
+ * state constraint holds. The checker is intentionally independent
+ * of the controller implementation -- it re-derives bank state from
+ * the command stream alone, so controller bugs cannot hide.
+ *
+ * Checked rules:
+ *  - ACT only to a precharged bank; tRC since previous ACT (same
+ *    bank); tRRD_S/L since previous ACT (other banks); tFAW over any
+ *    four consecutive ACTs per rank; tRP since the closing PRE.
+ *  - RD/WR only to an open row, tRCD after its ACT; tCCD_S/L since
+ *    the previous CAS; reads respect tWTR_S/L after write data.
+ *  - PRE respects tRAS after ACT, tRTP after RD, tWR after WR data.
+ *  - REF only with all banks precharged; tRFC before the next ACT;
+ *    average REF cadence within tREFI (9x margin, matching JEDEC
+ *    postponement rules) -- violations reported as warnings.
+ */
+
+#ifndef VANS_DRAM_CHECKER_HH
+#define VANS_DRAM_CHECKER_HH
+
+#include <string>
+#include <vector>
+
+#include "dram/command.hh"
+#include "dram/timing.hh"
+
+namespace vans::dram
+{
+
+/** One detected protocol violation. */
+struct Violation
+{
+    std::size_t cmdIndex;
+    std::string rule;
+    std::string detail;
+};
+
+/** Re-derives bank state from a command stream and checks legality. */
+class Ddr4Checker
+{
+  public:
+    Ddr4Checker(const DramTiming &timing, const DramGeometry &geometry);
+
+    /** Check a full trace. @return all violations found. */
+    std::vector<Violation> check(const std::vector<DramCommand> &cmds);
+
+  private:
+    DramTiming spec;
+    DramGeometry geom;
+};
+
+} // namespace vans::dram
+
+#endif // VANS_DRAM_CHECKER_HH

@@ -1,0 +1,36 @@
+#include "dram/command.hh"
+
+#include "common/logging.hh"
+
+namespace vans::dram
+{
+
+const char *
+dramCmdName(DramCmd cmd)
+{
+    switch (cmd) {
+      case DramCmd::ACT:
+        return "ACT";
+      case DramCmd::RD:
+        return "RD";
+      case DramCmd::WR:
+        return "WR";
+      case DramCmd::PRE:
+        return "PRE";
+      case DramCmd::REF:
+        return "REF";
+    }
+    return "?";
+}
+
+std::string
+DramCommand::str() const
+{
+    return strFormat("%10llu %-3s r%u bg%u b%u row%llu col%llu",
+                     static_cast<unsigned long long>(tick),
+                     dramCmdName(cmd), rank, bankGroup, bank,
+                     static_cast<unsigned long long>(row),
+                     static_cast<unsigned long long>(column));
+}
+
+} // namespace vans::dram

@@ -1,0 +1,358 @@
+#include "dram/controller.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace vans::dram
+{
+
+namespace
+{
+constexpr Tick never = std::numeric_limits<Tick>::max();
+} // namespace
+
+DramController::DramController(EventQueue &eq, const DramTiming &timing,
+                               const DramGeometry &geometry,
+                               SchedPolicy sched_policy, MapScheme ms,
+                               std::string name)
+    : eventq(eq),
+      spec(timing),
+      map(geometry, ms),
+      policy(sched_policy),
+      banks(geometry.totalBanks()),
+      lastCasInGroup(geometry.ranks * geometry.bankGroups, 0),
+      lastActInGroup(geometry.ranks * geometry.bankGroups, 0),
+      nextRefresh(spec.tREFI ? spec.cyc(spec.tREFI) : never),
+      statGroup(std::move(name))
+{}
+
+void
+DramController::access(Addr addr, bool write, std::uint32_t size,
+                       DoneCallback done)
+{
+    unsigned lines = (size + cacheLineSize - 1) / cacheLineSize;
+    if (lines == 0)
+        lines = 1;
+
+    auto parent = std::make_shared<Parent>();
+    parent->remaining = lines;
+    parent->done = std::move(done);
+
+    Addr base = alignDown(addr, cacheLineSize);
+    for (unsigned i = 0; i < lines; ++i) {
+        LineReq r;
+        r.addr = base + static_cast<Addr>(i) * cacheLineSize;
+        r.coord = map.decode(r.addr);
+        r.write = write;
+        r.enqueueTick = eventq.curTick();
+        r.seq = nextSeq++;
+        r.parent = parent;
+        (write ? writeQueue : readQueue).push_back(std::move(r));
+    }
+    statGroup.scalar(write ? "write_accesses" : "read_accesses").inc();
+    statGroup.scalar(write ? "bytes_written" : "bytes_read").inc(size);
+    scheduleWakeup(eventq.curTick());
+}
+
+void
+DramController::scheduleWakeup(Tick when)
+{
+    when = std::max(when, eventq.curTick());
+    if (wakeupScheduled && wakeupAt <= when)
+        return;
+    wakeupScheduled = true;
+    wakeupAt = when;
+    eventq.schedule(when, [this, when] {
+        if (wakeupScheduled && wakeupAt == when) {
+            wakeupScheduled = false;
+            process();
+        }
+    });
+}
+
+Tick
+DramController::earliestIssue(const LineReq &r) const
+{
+    const BankState &b = banks[bankIndex(r.coord)];
+    Tick t = cmdBusFree;
+    if (b.open && b.row == r.coord.row) {
+        // CAS path.
+        t = std::max(t, b.casReady);
+        unsigned g = r.coord.rank * map.geometry().bankGroups +
+                     r.coord.bankGroup;
+        Tick ccd = std::max(lastCasInGroup[g] + spec.cyc(spec.tCCD_L),
+                            lastCasAny + spec.cyc(spec.tCCD_S));
+        t = std::max(t, ccd);
+        if (!r.write) {
+            // tWTR: write data end -> read CAS.
+            t = std::max(t, lastWrDataEnd + spec.cyc(spec.tWTR_L));
+        }
+        t = std::max(t, dataBusFree);
+        return t;
+    }
+    if (b.open) {
+        // Row conflict: need PRE first.
+        return std::max(t, b.preReady);
+    }
+    // Closed: need ACT.
+    t = std::max(t, b.actReady);
+    unsigned g = r.coord.rank * map.geometry().bankGroups +
+                 r.coord.bankGroup;
+    Tick rrd = std::max(lastActInGroup[g] + spec.cyc(spec.tRRD_L),
+                        lastActAny + spec.cyc(spec.tRRD_S));
+    t = std::max(t, rrd);
+    if (actWindow.size() >= 4)
+        t = std::max(t, actWindow.front() + spec.cyc(spec.tFAW));
+    return t;
+}
+
+void
+DramController::issueAct(const DramCoord &c)
+{
+    BankState &b = banks[bankIndex(c)];
+    Tick now = eventq.curTick();
+    b.open = true;
+    b.row = c.row;
+    b.casReady = now + spec.cyc(spec.tRCD);
+    b.preReady = now + spec.cyc(spec.tRAS);
+    b.actReady = now + spec.cyc(spec.tRC);
+
+    unsigned g = c.rank * map.geometry().bankGroups + c.bankGroup;
+    lastActInGroup[g] = now;
+    lastActAny = now;
+    actWindow.push_back(now);
+    while (actWindow.size() > 4)
+        actWindow.pop_front();
+
+    cmdBusFree = now + spec.period();
+    statGroup.scalar("cmd_act").inc();
+    cmdTrace.record({now, DramCmd::ACT, c.rank, c.bankGroup, c.bank,
+                     c.row, 0});
+}
+
+void
+DramController::issuePre(const DramCoord &c)
+{
+    BankState &b = banks[bankIndex(c)];
+    Tick now = eventq.curTick();
+    b.open = false;
+    b.actReady = std::max(b.actReady, now + spec.cyc(spec.tRP));
+    cmdBusFree = now + spec.period();
+    statGroup.scalar("cmd_pre").inc();
+    cmdTrace.record({now, DramCmd::PRE, c.rank, c.bankGroup, c.bank,
+                     b.row, 0});
+}
+
+void
+DramController::issueCas(const LineReq &r)
+{
+    BankState &b = banks[bankIndex(r.coord)];
+    Tick now = eventq.curTick();
+    Tick lat = r.write ? spec.cyc(spec.tCWL) : spec.cyc(spec.tCL);
+    Tick data_start = now + lat;
+    Tick data_end = data_start + spec.burstTicks();
+
+    dataBusFree = data_end;
+    unsigned g = r.coord.rank * map.geometry().bankGroups +
+                 r.coord.bankGroup;
+    lastCasInGroup[g] = now;
+    lastCasAny = now;
+
+    if (r.write) {
+        lastWrDataEnd = data_end;
+        // Write recovery gates the next PRE of this bank.
+        b.preReady = std::max(b.preReady,
+                              data_end + spec.cyc(spec.tWR));
+        statGroup.scalar("cmd_wr").inc();
+    } else {
+        b.preReady = std::max(b.preReady, now + spec.cyc(spec.tRTP));
+        statGroup.scalar("cmd_rd").inc();
+    }
+
+    cmdBusFree = now + spec.period();
+    cmdTrace.record({now, r.write ? DramCmd::WR : DramCmd::RD,
+                     r.coord.rank, r.coord.bankGroup, r.coord.bank,
+                     r.coord.row, r.coord.column});
+
+    auto parent = r.parent;
+    Tick enq = r.enqueueTick;
+    bool write = r.write;
+    eventq.schedule(data_end, [this, parent, data_end, enq, write] {
+        parent->lastData = std::max(parent->lastData, data_end);
+        if (--parent->remaining == 0) {
+            statGroup
+                .average(write ? "write_latency_ns" : "read_latency_ns")
+                .sample(ticksToNs(data_end - enq));
+            if (parent->done)
+                parent->done(data_end);
+        }
+    });
+}
+
+void
+DramController::doRefresh()
+{
+    Tick now = eventq.curTick();
+    // Close every open bank first (the process() caller already
+    // waited for each bank's preReady), then refresh after tRP.
+    const auto &g = map.geometry();
+    for (unsigned i = 0; i < banks.size(); ++i) {
+        BankState &b = banks[i];
+        if (b.open) {
+            DramCoord c;
+            c.bank = i % g.banksPerGroup;
+            c.bankGroup = (i / g.banksPerGroup) % g.bankGroups;
+            c.rank = i / (g.banksPerGroup * g.bankGroups);
+            c.row = b.row;
+            statGroup.scalar("cmd_pre").inc();
+            cmdTrace.record({now, DramCmd::PRE, c.rank, c.bankGroup,
+                             c.bank, b.row, 0});
+            b.open = false;
+        }
+    }
+    Tick ref_at = now + spec.cyc(spec.tRP);
+    for (auto &b : banks) {
+        b.actReady = std::max(b.actReady,
+                              ref_at + spec.cyc(spec.tRFC));
+    }
+    cmdBusFree = std::max(cmdBusFree, ref_at + spec.period());
+    statGroup.scalar("cmd_ref").inc();
+    cmdTrace.record({ref_at, DramCmd::REF, 0, 0, 0, 0, 0});
+    nextRefresh += spec.cyc(spec.tREFI);
+    refreshPending = false;
+}
+
+void
+DramController::process()
+{
+    Tick now = eventq.curTick();
+
+    // Refresh has priority once due.
+    if (spec.tREFI && now >= nextRefresh) {
+        // Wait until every open bank may precharge.
+        Tick ready = cmdBusFree;
+        for (const auto &b : banks) {
+            if (b.open)
+                ready = std::max(ready, b.preReady);
+        }
+        if (ready <= now) {
+            doRefresh();
+            if (!readQueue.empty() || !writeQueue.empty())
+                scheduleWakeup(now + spec.period());
+            else if (spec.tREFI)
+                scheduleWakeup(nextRefresh);
+            return;
+        }
+        scheduleWakeup(ready);
+        return;
+    }
+
+    if (readQueue.empty() && writeQueue.empty()) {
+        if (spec.tREFI)
+            scheduleWakeup(nextRefresh);
+        return;
+    }
+
+    // Pick a request within a queue: FR-FCFS prefers ready row hits,
+    // then any ready request, oldest first. The write scan is
+    // bounded to the scheduler window.
+    auto pick = [&](std::list<LineReq> &q, unsigned window) {
+        unsigned scanned = 0;
+        auto best = q.end();
+        for (auto it = q.begin();
+             it != q.end() && scanned < window; ++it, ++scanned) {
+            if (earliestIssue(*it) > now)
+                continue;
+            const BankState &b = banks[bankIndex(it->coord)];
+            if (b.open && b.row == it->coord.row)
+                return it; // Oldest ready row hit wins.
+            if (best == q.end())
+                best = it;
+        }
+        return best;
+    };
+    auto earliest = [&](std::list<LineReq> &q, unsigned window) {
+        Tick best = never;
+        unsigned scanned = 0;
+        for (auto it = q.begin();
+             it != q.end() && scanned < window; ++it, ++scanned) {
+            best = std::min(best, earliestIssue(*it));
+        }
+        return best;
+    };
+
+    std::list<LineReq> *src = nullptr;
+    std::list<LineReq>::iterator chosen;
+    if (policy == SchedPolicy::FCFS) {
+        // Strict arrival order across both queues.
+        bool read_first =
+            !readQueue.empty() &&
+            (writeQueue.empty() ||
+             readQueue.front().seq < writeQueue.front().seq);
+        src = read_first ? &readQueue : &writeQueue;
+        if (earliestIssue(src->front()) > now) {
+            scheduleWakeup(std::max(earliestIssue(src->front()),
+                                    now + 1));
+            return;
+        }
+        chosen = src->begin();
+    } else {
+        // Strict read priority: while any read is queued, writes
+        // hold. A continuous write stream would otherwise keep
+        // pushing the write-to-read turnaround (tWTR) ahead of a
+        // waiting read forever; writes are posted and drain in the
+        // read-free gaps.
+        if (!readQueue.empty()) {
+            src = &readQueue;
+            chosen = pick(readQueue, 64);
+            if (chosen == readQueue.end()) {
+                scheduleWakeup(
+                    std::max(earliest(readQueue, 64), now + 1));
+                return;
+            }
+        } else {
+            src = &writeQueue;
+            chosen = pick(writeQueue, writeScanWindow);
+            if (chosen == writeQueue.end()) {
+                scheduleWakeup(std::max(
+                    earliest(writeQueue, writeScanWindow), now + 1));
+                return;
+            }
+        }
+    }
+
+    if (issueFor(*chosen))
+        src->erase(chosen);
+    scheduleWakeup(now + spec.period());
+}
+
+bool
+DramController::issueFor(LineReq &r)
+{
+    // Hit/miss/conflict classification happens once per line
+    // request, at its first service attempt.
+    BankState &b = banks[bankIndex(r.coord)];
+    if (b.open && b.row == r.coord.row) {
+        if (!r.classified)
+            statGroup.scalar("row_hits").inc();
+        r.classified = true;
+        issueCas(r);
+        return true;
+    }
+    if (b.open) {
+        if (!r.classified)
+            statGroup.scalar("row_conflicts").inc();
+        r.classified = true;
+        issuePre(r.coord);
+        return false;
+    }
+    if (!r.classified)
+        statGroup.scalar("row_misses").inc();
+    r.classified = true;
+    issueAct(r.coord);
+    return false;
+}
+
+} // namespace vans::dram

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Banked DRAM channel controller with open-page policy and a choice
+ * of FCFS or FR-FCFS scheduling.
+ *
+ * The controller accepts byte-addressed accesses of any size, splits
+ * them into cache-line column transactions, and issues ACT/PRE/RD/WR
+ * /REF commands respecting the full JEDEC constraint set (tRCD, tRP,
+ * tRAS, tRC, tCCD_S/L, tRRD_S/L, tFAW, tWR, tWTR_S/L, tRTP, tRFC,
+ * tREFI). An access completes when the last data beat of its last
+ * burst leaves (read) or enters (write) the device.
+ *
+ * The same controller class serves three masters in this repo: the
+ * DDR4 main memory of the baseline systems, the small on-DIMM DRAM
+ * that backs the AIT inside the NVRAM DIMM, and (with pcmLike()
+ * timing) the Ramulator-style PCM baseline.
+ */
+
+#ifndef VANS_DRAM_CONTROLLER_HH
+#define VANS_DRAM_CONTROLLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <memory>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram/address_map.hh"
+#include "dram/command.hh"
+#include "dram/timing.hh"
+
+namespace vans::dram
+{
+
+/** Controller scheduling policy. */
+enum class SchedPolicy : std::uint8_t
+{
+    FCFS,
+    FRFCFS,
+};
+
+/** One DRAM channel: banks, timing state, request queue. */
+class DramController
+{
+  public:
+    using DoneCallback = std::function<void(Tick)>;
+
+    DramController(EventQueue &eq, const DramTiming &timing,
+                   const DramGeometry &geometry,
+                   SchedPolicy policy = SchedPolicy::FRFCFS,
+                   MapScheme map = MapScheme::RowBankCol,
+                   std::string name = "dram");
+
+    /**
+     * Enqueue an access; @p done fires at data completion time.
+     * Accesses larger than a line become multiple line transactions
+     * over consecutive addresses and complete with the last one.
+     */
+    void access(Addr addr, bool write, std::uint32_t size,
+                DoneCallback done);
+
+    /** Number of queued (incomplete) line transactions. */
+    std::size_t
+    queueDepth() const
+    {
+        return readQueue.size() + writeQueue.size();
+    }
+
+    /** Statistics group (row hits, misses, commands, bytes). */
+    StatGroup &stats() { return statGroup; }
+    const StatGroup &statsConst() const { return statGroup; }
+
+    /** Command trace for the protocol checker. */
+    CommandTrace &trace() { return cmdTrace; }
+
+    const DramTiming &timing() const { return spec; }
+    const DramGeometry &geometry() const { return map.geometry(); }
+
+  private:
+    struct Parent
+    {
+        unsigned remaining;
+        DoneCallback done;
+        Tick lastData = 0;
+    };
+
+    struct LineReq
+    {
+        DramCoord coord;
+        Addr addr;
+        bool write;
+        Tick enqueueTick;
+        std::uint64_t seq = 0;   ///< Arrival order (FCFS).
+        bool classified = false; ///< Hit/miss stat recorded.
+        std::shared_ptr<Parent> parent;
+    };
+
+    struct BankState
+    {
+        bool open = false;
+        std::uint64_t row = 0;
+        Tick actReady = 0; ///< Earliest next ACT.
+        Tick casReady = 0; ///< Earliest next RD/WR (row must be open).
+        Tick preReady = 0; ///< Earliest next PRE.
+    };
+
+    /** Flattened bank index. */
+    unsigned
+    bankIndex(const DramCoord &c) const
+    {
+        const auto &g = map.geometry();
+        return (c.rank * g.bankGroups + c.bankGroup) *
+                   g.banksPerGroup + c.bank;
+    }
+
+    void scheduleWakeup(Tick when);
+    void process();
+
+    /** Earliest tick the next required command for @p r can issue. */
+    Tick earliestIssue(const LineReq &r) const;
+
+    /** Issue the next required command for @p r at the current tick.
+     *  @return true if @p r received its CAS (data scheduled). */
+    bool issueFor(LineReq &r);
+
+    void issueAct(const DramCoord &c);
+    void issuePre(const DramCoord &c);
+    void issueCas(const LineReq &r);
+    void doRefresh();
+
+    EventQueue &eventq;
+    DramTiming spec;
+    AddressMap map;
+    SchedPolicy policy;
+
+    std::vector<BankState> banks;
+    /** Reads and writes queue separately: reads have strict
+     *  priority (writes are posted), and the write scan is bounded
+     *  to a scheduler window to keep per-command cost constant. */
+    std::list<LineReq> readQueue;
+    std::list<LineReq> writeQueue;
+    std::uint64_t nextSeq = 0;
+    static constexpr unsigned writeScanWindow = 32;
+
+    /** Per-(rank,bankgroup) last CAS for tCCD_L / tRRD_L tracking. */
+    std::vector<Tick> lastCasInGroup;
+    std::vector<Tick> lastActInGroup;
+    Tick lastCasAny = 0;
+    Tick lastActAny = 0;
+    std::deque<Tick> actWindow; ///< For tFAW.
+    Tick lastWrDataEnd = 0;     ///< For tWTR.
+    Tick dataBusFree = 0;
+    Tick cmdBusFree = 0;
+
+    Tick nextRefresh;
+    bool refreshPending = false;
+
+    bool wakeupScheduled = false;
+    Tick wakeupAt = 0;
+
+    StatGroup statGroup;
+    CommandTrace cmdTrace;
+};
+
+} // namespace vans::dram
+
+#endif // VANS_DRAM_CONTROLLER_HH

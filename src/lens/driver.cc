@@ -1,0 +1,156 @@
+#include "lens/driver.hh"
+
+#include "common/logging.hh"
+
+namespace vans::lens
+{
+
+Driver::Driver(MemorySystem &memory)
+    : mem(memory), eq(memory.eventQueue())
+{}
+
+void
+Driver::runUntil(const std::function<bool()> &pred)
+{
+    while (!pred()) {
+        if (!eq.step())
+            panic("event queue drained before condition was met");
+    }
+}
+
+void
+Driver::idle(Tick ticks)
+{
+    Tick target = eq.curTick() + ticks;
+    bool fired = false;
+    eq.schedule(target, [&fired] { fired = true; });
+    runUntil([&fired] { return fired; });
+}
+
+Tick
+Driver::read(Addr addr, std::uint32_t size)
+{
+    auto req = makeRequest(addr, MemOp::ReadNT, size);
+    bool done = false;
+    Tick lat = 0;
+    req->onComplete = [&done, &lat](Request &r) {
+        done = true;
+        lat = r.latency();
+    };
+    mem.issue(req);
+    runUntil([&done] { return done; });
+    return lat;
+}
+
+Tick
+Driver::write(Addr addr, std::uint32_t size)
+{
+    auto req = makeRequest(addr, MemOp::WriteNT, size);
+    bool done = false;
+    Tick lat = 0;
+    req->onComplete = [&done, &lat](Request &r) {
+        done = true;
+        lat = r.latency();
+    };
+    mem.issue(req);
+    runUntil([&done] { return done; });
+    return lat;
+}
+
+Tick
+Driver::fence()
+{
+    auto req = makeRequest(0, MemOp::Fence, 0);
+    bool done = false;
+    Tick lat = 0;
+    req->onComplete = [&done, &lat](Request &r) {
+        done = true;
+        lat = r.latency();
+    };
+    mem.issue(req);
+    runUntil([&done] { return done; });
+    return lat;
+}
+
+Tick
+Driver::streamOps(const std::vector<Addr> &addrs, MemOp op,
+                  unsigned max_in_flight, Tick issue_gap)
+{
+    if (addrs.empty())
+        return 0;
+    Tick start = eq.curTick();
+    std::size_t issued = 0;
+    std::size_t completed = 0;
+    std::size_t in_flight = 0;
+    Tick next_allowed = 0;
+
+    while (completed < addrs.size()) {
+        if (issued < addrs.size() && in_flight < max_in_flight) {
+            if (eq.curTick() >= next_allowed) {
+                auto req = makeRequest(addrs[issued], op);
+                req->onComplete =
+                    [&completed, &in_flight](Request &) {
+                        ++completed;
+                        --in_flight;
+                    };
+                ++issued;
+                ++in_flight;
+                next_allowed = eq.curTick() + issue_gap;
+                mem.issue(req);
+                continue;
+            }
+            // Blocked only by the issue gap: advance to it.
+            bool fired = false;
+            eq.schedule(next_allowed, [&fired] { fired = true; });
+            runUntil([&fired] { return fired; });
+            continue;
+        }
+        std::size_t before = completed;
+        runUntil([&completed, before] { return completed > before; });
+    }
+    return eq.curTick() - start;
+}
+
+Tick
+Driver::streamReads(const std::vector<Addr> &addrs, unsigned mlp)
+{
+    return streamOps(addrs, MemOp::ReadNT, mlp, 0);
+}
+
+Tick
+Driver::streamWrites(const std::vector<Addr> &addrs,
+                     unsigned outstanding, double issue_gap_ns)
+{
+    return streamOps(addrs, MemOp::WriteNT, outstanding,
+                     nsToTicks(issue_gap_ns));
+}
+
+Tick
+Driver::readBlock(Addr base, std::uint32_t block_bytes)
+{
+    Tick start = eq.curTick();
+    // Dependent first line: the pointer itself.
+    read(base);
+    unsigned lines = block_bytes / cacheLineSize;
+    if (lines > 1) {
+        std::vector<Addr> rest;
+        rest.reserve(lines - 1);
+        for (unsigned i = 1; i < lines; ++i)
+            rest.push_back(base + static_cast<Addr>(i) *
+                                      cacheLineSize);
+        streamReads(rest, 8);
+    }
+    return eq.curTick() - start;
+}
+
+Tick
+Driver::writeBlock(Addr base, std::uint32_t block_bytes)
+{
+    Tick start = eq.curTick();
+    unsigned lines = block_bytes / cacheLineSize;
+    for (unsigned i = 0; i < lines; ++i)
+        write(base + static_cast<Addr>(i) * cacheLineSize);
+    return eq.curTick() - start;
+}
+
+} // namespace vans::lens

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The LENS execution driver: runs "simulated software" against any
+ * MemorySystem.
+ *
+ * The real LENS is a Linux kernel module issuing AVX512 non-temporal
+ * loads/stores at Optane hardware. Here the same access sequences are
+ * issued at a simulated memory system, stepping the event queue until
+ * each operation's completion callback fires. Because both the real
+ * and the simulated target are driven through identical request
+ * streams, the prober logic on top is oblivious to which one it is
+ * profiling -- that is the property that makes the planted-parameter
+ * recovery tests meaningful.
+ */
+
+#ifndef VANS_LENS_DRIVER_HH
+#define VANS_LENS_DRIVER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/mem_system.hh"
+#include "common/types.hh"
+
+namespace vans::lens
+{
+
+/** Synchronous and bounded-overlap access primitives. */
+class Driver
+{
+  public:
+    explicit Driver(MemorySystem &mem);
+
+    /** Issue one NT read and wait for the data. @return latency. */
+    Tick read(Addr addr, std::uint32_t size = cacheLineSize);
+
+    /** Issue one NT store and wait for ADR acceptance. @return
+     *  latency. */
+    Tick write(Addr addr, std::uint32_t size = cacheLineSize);
+
+    /** Issue a persistence fence and wait. @return latency. */
+    Tick fence();
+
+    /**
+     * Issue reads for every address with at most @p mlp in flight.
+     * @return total elapsed ticks from first issue to last data.
+     */
+    Tick streamReads(const std::vector<Addr> &addrs, unsigned mlp);
+
+    /**
+     * Same for NT stores (outstanding-store-buffer model).
+     * @p issue_gap_ns models the core's store issue rate: even with
+     * buffer space, stores leave the core no faster than one per
+     * gap.
+     */
+    Tick streamWrites(const std::vector<Addr> &addrs,
+                      unsigned outstanding,
+                      double issue_gap_ns = 6.0);
+
+    /** Shared machinery for the two stream calls. */
+    Tick streamOps(const std::vector<Addr> &addrs, MemOp op,
+                   unsigned max_in_flight, Tick issue_gap);
+
+    /**
+     * Read a block of @p block_bytes at @p base: the first line is a
+     * dependent (pointer) load; the remaining lines overlap.
+     * @return elapsed ticks for the whole block.
+     */
+    Tick readBlock(Addr base, std::uint32_t block_bytes);
+
+    /** Write a block sequentially, one store at a time. */
+    Tick writeBlock(Addr base, std::uint32_t block_bytes);
+
+    /** Step the event queue until @p pred returns true. */
+    void runUntil(const std::function<bool()> &pred);
+
+    /** Advance simulated time by @p ticks (think time). */
+    void idle(Tick ticks);
+
+    MemorySystem &memory() { return mem; }
+    Tick now() const { return eq.curTick(); }
+
+  private:
+    MemorySystem &mem;
+    EventQueue &eq;
+};
+
+} // namespace vans::lens
+
+#endif // VANS_LENS_DRIVER_HH

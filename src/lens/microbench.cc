@@ -1,0 +1,194 @@
+#include "lens/microbench.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vans::lens
+{
+
+std::vector<Addr>
+chaseOrder(Addr base, std::uint64_t region_bytes,
+           std::uint32_t block_bytes, std::uint64_t max_blocks,
+           std::uint64_t seed)
+{
+    Rng rng(seed * 0x2545f4914f6cdd1dull + 1);
+    std::uint64_t blocks = region_bytes / block_bytes;
+    if (blocks == 0)
+        blocks = 1;
+    std::vector<Addr> order;
+    if (blocks <= max_blocks) {
+        order.reserve(blocks);
+        for (std::uint64_t i = 0; i < blocks; ++i)
+            order.push_back(base + i * block_bytes);
+        rng.shuffle(order);
+    } else {
+        // Uniform sample without immediate repeats: steady-state hit
+        // ratios only depend on the fraction of the region resident
+        // in each buffer level.
+        order.reserve(max_blocks);
+        Addr last = ~0ull;
+        for (std::uint64_t i = 0; i < max_blocks; ++i) {
+            Addr a;
+            do {
+                a = base + rng.below(blocks) * block_bytes;
+            } while (a == last);
+            order.push_back(a);
+            last = a;
+        }
+    }
+    return order;
+}
+
+PtrChaseResult
+ptrChase(Driver &drv, const PtrChaseParams &p)
+{
+    std::uint64_t lines_per_block = p.blockBytes / cacheLineSize;
+    if (lines_per_block == 0)
+        fatal("PC-Block smaller than a cache line");
+
+    std::uint64_t want_lines = p.warmupLines + p.measureLines;
+    std::uint64_t want_blocks =
+        (want_lines + lines_per_block - 1) / lines_per_block;
+
+    auto order = chaseOrder(p.base, p.regionBytes, p.blockBytes,
+                            want_blocks, p.seed);
+
+    auto run_phase = [&](std::uint64_t lines_target,
+                         std::uint64_t &cursor) {
+        Tick start = drv.now();
+        std::uint64_t done_lines = 0;
+        if (p.writeMode) {
+            // NT stores leave the core through the store buffer:
+            // overlapped, paced by the core's issue rate. This is
+            // what lets the WPQ/LSQ drain rates surface as the
+            // per-line store cost.
+            std::vector<Addr> addrs;
+            addrs.reserve(lines_target + lines_per_block);
+            while (done_lines < lines_target) {
+                Addr a = order[cursor % order.size()];
+                ++cursor;
+                for (std::uint64_t l = 0; l < lines_per_block; ++l)
+                    addrs.push_back(a + l * cacheLineSize);
+                done_lines += lines_per_block;
+            }
+            drv.streamWrites(addrs, 16);
+        } else if (p.mlp <= 1) {
+            // Latency mode: a dependent chain across blocks.
+            while (done_lines < lines_target) {
+                drv.readBlock(order[cursor % order.size()],
+                              p.blockBytes);
+                ++cursor;
+                done_lines += lines_per_block;
+            }
+        } else {
+            // Bandwidth mode: overlapped line stream in block order.
+            std::vector<Addr> addrs;
+            addrs.reserve(lines_target + lines_per_block);
+            while (done_lines < lines_target) {
+                Addr a = order[cursor % order.size()];
+                ++cursor;
+                for (std::uint64_t l = 0; l < lines_per_block; ++l)
+                    addrs.push_back(a + l * cacheLineSize);
+                done_lines += lines_per_block;
+            }
+            drv.streamReads(addrs, p.mlp);
+        }
+        return std::pair<Tick, std::uint64_t>(drv.now() - start,
+                                              done_lines);
+    };
+
+    std::uint64_t cursor = 0;
+    run_phase(p.warmupLines, cursor);
+    auto [elapsed, lines] = run_phase(p.measureLines, cursor);
+
+    PtrChaseResult res;
+    res.elapsed = elapsed;
+    res.lines = lines;
+    res.nsPerLine = lines ? ticksToNs(elapsed) /
+                            static_cast<double>(lines)
+                          : 0;
+    return res;
+}
+
+RawResult
+readAfterWrite(Driver &drv, Addr base, std::uint64_t region_bytes,
+               std::uint32_t block_bytes, std::uint64_t seed)
+{
+    // Bound the work: the behaviour is periodic in the region once
+    // buffers reach steady state.
+    std::uint64_t max_blocks = 4096;
+    auto order = chaseOrder(base, region_bytes, block_bytes,
+                            max_blocks, seed);
+    std::uint64_t lines_per_block = block_bytes / cacheLineSize;
+
+    // Warm: one full write+read pass.
+    for (Addr a : order)
+        drv.writeBlock(a, block_bytes);
+    for (Addr a : order)
+        drv.readBlock(a, block_bytes);
+
+    Tick start = drv.now();
+    for (Addr a : order)
+        drv.writeBlock(a, block_bytes);
+    for (Addr a : order)
+        drv.readBlock(a, block_bytes);
+    Tick elapsed = drv.now() - start;
+
+    RawResult r;
+    std::uint64_t lines = order.size() * lines_per_block;
+    // Roundtrip: one write plus one read per line.
+    r.rawNsPerLine = ticksToNs(elapsed) / static_cast<double>(lines);
+    return r;
+}
+
+OverwriteResult
+overwrite(Driver &drv, Addr base, std::uint64_t region_bytes,
+          std::uint64_t iterations)
+{
+    OverwriteResult res;
+    res.iterationNs.reserve(iterations);
+    std::uint64_t lines = std::max<std::uint64_t>(
+        region_bytes / cacheLineSize, 1);
+
+    for (std::uint64_t it = 0; it < iterations; ++it) {
+        Tick start = drv.now();
+        for (std::uint64_t l = 0; l < lines; ++l)
+            drv.write(base + l * cacheLineSize);
+        drv.fence();
+        res.iterationNs.push_back(ticksToNs(drv.now() - start));
+    }
+
+    if (!res.iterationNs.empty()) {
+        std::vector<double> sorted(res.iterationNs);
+        std::sort(sorted.begin(), sorted.end());
+        res.medianNs = sorted[sorted.size() / 2];
+        double sum = 0;
+        for (double v : res.iterationNs)
+            sum += v;
+        res.meanNs = sum / static_cast<double>(res.iterationNs.size());
+    }
+    return res;
+}
+
+StrideResult
+stride(Driver &drv, Addr base, std::uint64_t count,
+       std::uint64_t stride_bytes, bool write_mode, unsigned mlp)
+{
+    std::vector<Addr> addrs;
+    addrs.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i)
+        addrs.push_back(base + i * stride_bytes);
+
+    Tick elapsed = write_mode ? drv.streamWrites(addrs, mlp)
+                              : drv.streamReads(addrs, mlp);
+    StrideResult r;
+    r.elapsed = elapsed;
+    r.accesses = count;
+    double bytes = static_cast<double>(count) * cacheLineSize;
+    double secs = ticksToNs(elapsed) * 1e-9;
+    r.gbPerSec = secs > 0 ? bytes / secs / 1e9 : 0;
+    return r;
+}
+
+} // namespace vans::lens

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The three LENS microbenchmarks (paper Table II): pointer chasing,
+ * overwrite, and stride -- plus the read-after-write variant.
+ *
+ * Pointer chasing divides a PC-Region into PC-Blocks, visits the
+ * blocks in a seeded random order and accesses lines sequentially
+ * within a block. Two modes matter:
+ *  - latency mode (dependent chain across blocks): exposes buffer
+ *    capacities as latency plateaus;
+ *  - bandwidth mode (overlapped accesses): exposes read/write
+ *    amplification as throughput loss, which is how the
+ *    amplification *score* is measured without hardware counters.
+ *
+ * Overwrite repeatedly writes the same region with a persistence
+ * fence per iteration and records every iteration's latency -- the
+ * wear-leveling tail detector.
+ *
+ * Stride reads/writes a strided address pattern with configurable
+ * overlap -- the bandwidth and interleave probe.
+ */
+
+#ifndef VANS_LENS_MICROBENCH_HH
+#define VANS_LENS_MICROBENCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "lens/driver.hh"
+
+namespace vans::lens
+{
+
+/** Result of one pointer-chasing run. */
+struct PtrChaseResult
+{
+    double nsPerLine = 0;     ///< Average latency per cache line.
+    std::uint64_t lines = 0;  ///< Lines measured.
+    Tick elapsed = 0;
+};
+
+/** Parameters for pointer chasing. */
+struct PtrChaseParams
+{
+    Addr base = 0;
+    std::uint64_t regionBytes = 4096;
+    std::uint32_t blockBytes = 64;
+    bool writeMode = false;      ///< Stores instead of loads.
+    unsigned mlp = 1;            ///< 1 = latency mode; >1 = bandwidth.
+    std::uint64_t warmupLines = 12000;
+    std::uint64_t measureLines = 8000;
+    std::uint64_t seed = 1;
+};
+
+/** Run pointer chasing against @p drv's memory system. */
+PtrChaseResult ptrChase(Driver &drv, const PtrChaseParams &p);
+
+/** Result of a read-after-write run. */
+struct RawResult
+{
+    double rawNsPerLine = 0; ///< Write-then-read roundtrip per line.
+};
+
+/**
+ * Read-after-write: write all blocks in pointer-chasing order, then
+ * read them back in the same order (paper section III-A variant 3).
+ * The roundtrip per line is (write phase + read phase) / lines.
+ */
+RawResult readAfterWrite(Driver &drv, Addr base,
+                         std::uint64_t region_bytes,
+                         std::uint32_t block_bytes,
+                         std::uint64_t seed = 1);
+
+/** Result of an overwrite run. */
+struct OverwriteResult
+{
+    std::vector<double> iterationNs; ///< Per-iteration latency.
+    double medianNs = 0;
+    double meanNs = 0;
+};
+
+/**
+ * Overwrite: write @p region_bytes sequentially with NT stores, then
+ * fence; repeat @p iterations times recording each iteration's
+ * latency.
+ */
+OverwriteResult overwrite(Driver &drv, Addr base,
+                          std::uint64_t region_bytes,
+                          std::uint64_t iterations);
+
+/** Result of a stride run. */
+struct StrideResult
+{
+    double gbPerSec = 0;
+    Tick elapsed = 0;
+    std::uint64_t accesses = 0;
+};
+
+/**
+ * Stride: access @p count lines spaced @p stride_bytes apart with
+ * @p mlp outstanding operations.
+ */
+StrideResult stride(Driver &drv, Addr base, std::uint64_t count,
+                    std::uint64_t stride_bytes, bool write_mode,
+                    unsigned mlp);
+
+/**
+ * Build the seeded random block visit order used by pointer chasing:
+ * if the region has more blocks than @p max_blocks, a uniform sample
+ * is used (steady-state residency only needs coverage of the buffer
+ * capacities, not the whole region).
+ */
+std::vector<Addr> chaseOrder(Addr base, std::uint64_t region_bytes,
+                             std::uint32_t block_bytes,
+                             std::uint64_t max_blocks,
+                             std::uint64_t seed);
+
+} // namespace vans::lens
+
+#endif // VANS_LENS_MICROBENCH_HH

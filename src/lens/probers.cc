@@ -1,0 +1,329 @@
+#include "lens/probers.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace vans::lens
+{
+
+namespace
+{
+
+/** Round to the nearest power of two (for reporting sizes). */
+std::uint64_t
+roundPow2(double v)
+{
+    if (v <= 1)
+        return 1;
+    double l = std::log2(v);
+    return 1ull << static_cast<unsigned>(std::lround(l));
+}
+
+/**
+ * Knee of a declining score curve: the first x whose score is within
+ * @p slack of the curve's minimum. This is the operational "score
+ * drops to one" rule with robustness to constant offsets.
+ */
+std::uint64_t
+ampKnee(const Curve &score, double slack = 0.10)
+{
+    if (score.empty())
+        return 0;
+    double lo = score.minY();
+    for (const auto &p : score.points()) {
+        if (p.y <= lo * (1.0 + slack))
+            return static_cast<std::uint64_t>(p.x);
+    }
+    return static_cast<std::uint64_t>(score.points().back().x);
+}
+
+} // namespace
+
+BufferProbe
+runBufferProber(Driver &drv, const BufferProberParams &p)
+{
+    BufferProbe out;
+
+    auto sweep = logSweep(p.minRegion, p.maxRegion);
+
+    // ---- Capacity detection: latency-mode pointer chasing -------
+    for (std::uint64_t region : sweep) {
+        PtrChaseParams pc;
+        pc.base = p.base;
+        pc.regionBytes = region;
+        pc.blockBytes = 64;
+        pc.warmupLines = p.warmupLines;
+        pc.measureLines = p.measureLines;
+        pc.seed = region;
+        auto ld = ptrChase(drv, pc);
+        out.loadCurve.add(static_cast<double>(region), ld.nsPerLine);
+
+        pc.writeMode = true;
+        auto st = ptrChase(drv, pc);
+        out.storeCurve.add(static_cast<double>(region), st.nsPerLine);
+        drv.fence();
+    }
+
+    // 256B-block variant (Fig 5b): same sweep from 256B up.
+    for (std::uint64_t region : sweep) {
+        if (region < 256)
+            continue;
+        PtrChaseParams pc;
+        pc.base = p.base;
+        pc.regionBytes = region;
+        pc.blockBytes = 256;
+        pc.warmupLines = p.warmupLines;
+        pc.measureLines = p.measureLines;
+        pc.seed = region + 7;
+        auto ld = ptrChase(drv, pc);
+        out.load256Curve.add(static_cast<double>(region),
+                             ld.nsPerLine);
+        pc.writeMode = true;
+        auto st = ptrChase(drv, pc);
+        out.store256Curve.add(static_cast<double>(region),
+                              st.nsPerLine);
+        drv.fence();
+    }
+
+    auto rd_infl = out.loadCurve.findInflections(p.inflectionThreshold);
+    auto wr_infl =
+        out.storeCurve.findInflections(p.inflectionThreshold);
+    for (double x : rd_infl)
+        out.readBufferCapacities.push_back(roundPow2(x));
+    for (double x : wr_infl)
+        out.writeQueueCapacities.push_back(roundPow2(x));
+    out.levelLatenciesNs = out.loadCurve.segmentLevels(rd_infl);
+
+    std::uint64_t cap_l1 = out.readBufferCapacities.empty()
+                               ? (16ull << 10)
+                               : out.readBufferCapacities.front();
+    std::uint64_t cap_l2 = out.readBufferCapacities.size() > 1
+                               ? out.readBufferCapacities[1]
+                               : (16ull << 20);
+
+    // ---- RaW hierarchy test (Fig 5c) ------------------------------
+    for (std::uint64_t region : sweep) {
+        if (region > (cap_l2 * 4) || region < 64)
+            continue;
+        auto raw = readAfterWrite(drv, p.base, region, 64, region);
+        double sum =
+            out.loadCurve.valueAt(static_cast<double>(region)) +
+            out.storeCurve.valueAt(static_cast<double>(region));
+        out.rawCurve.add(static_cast<double>(region),
+                         raw.rawNsPerLine);
+        out.rwSumCurve.add(static_cast<double>(region), sum);
+        drv.fence();
+    }
+    // Inclusive if there is no parallel-fast-forward speedup at the
+    // L2 working set: RaW stays at or above the independent R+W sum.
+    double raw_l2 = out.rawCurve.valueAt(
+        static_cast<double>(cap_l2) / 2.0);
+    double sum_l2 = out.rwSumCurve.valueAt(
+        static_cast<double>(cap_l2) / 2.0);
+    out.inclusiveHierarchy = raw_l2 >= 0.85 * sum_l2;
+
+    // ---- Read amplification (Fig 6a): bandwidth-mode chasing ----
+    std::vector<std::uint64_t> block_sweep = {64,  128,  256, 512,
+                                              1024, 2048, 4096};
+    auto amp_point = [&](std::uint64_t fit_region,
+                         std::uint64_t ov_region,
+                         std::uint64_t block) {
+        PtrChaseParams pc;
+        pc.base = p.base;
+        pc.blockBytes = static_cast<std::uint32_t>(block);
+        pc.mlp = 8;
+        pc.warmupLines = 6000;
+        pc.measureLines = 4000;
+        pc.regionBytes = fit_region;
+        pc.seed = block;
+        double fit = ptrChase(drv, pc).nsPerLine;
+        pc.regionBytes = ov_region;
+        double ov = ptrChase(drv, pc).nsPerLine;
+        return fit > 0 ? ov / fit : 0.0;
+    };
+
+    for (std::uint64_t block : block_sweep) {
+        double s1 = amp_point(cap_l1 / 2,
+                              std::min(cap_l1 * 4, cap_l2 / 4), block);
+        out.readAmpL1.add(static_cast<double>(block), s1);
+        double s2 = amp_point(cap_l2 / 2, cap_l2 * 4, block);
+        out.readAmpL2.add(static_cast<double>(block), s2);
+    }
+    out.readEntrySizeL1 = ampKnee(out.readAmpL1);
+    out.readEntrySizeL2 = ampKnee(out.readAmpL2);
+
+    // ---- Write amplification (Fig 6b): fence-per-block variant --
+    std::uint64_t wq_l1 = out.writeQueueCapacities.empty()
+                              ? 512
+                              : out.writeQueueCapacities.front();
+    std::uint64_t wq_l2 = out.writeQueueCapacities.size() > 1
+                              ? out.writeQueueCapacities[1]
+                              : (4ull << 10);
+    auto wamp_point = [&](std::uint64_t fit_region,
+                          std::uint64_t ov_region,
+                          std::uint64_t block) {
+        auto run = [&](std::uint64_t region) {
+            auto order = chaseOrder(p.base, region,
+                                    static_cast<std::uint32_t>(block),
+                                    512, block + region);
+            // Warm.
+            for (std::size_t i = 0; i < order.size() / 2; ++i)
+                drv.writeBlock(order[i],
+                               static_cast<std::uint32_t>(block));
+            drv.fence();
+            Tick start = drv.now();
+            std::uint64_t lines = 0;
+            for (Addr a : order) {
+                drv.writeBlock(a, static_cast<std::uint32_t>(block));
+                drv.fence();
+                lines += block / cacheLineSize;
+            }
+            return ticksToNs(drv.now() - start) /
+                   static_cast<double>(lines);
+        };
+        double fit = run(fit_region);
+        double ov = run(ov_region);
+        return fit > 0 ? ov / fit : 0.0;
+    };
+
+    for (std::uint64_t block : block_sweep) {
+        if (block > wq_l2)
+            continue;
+        double s1 = wamp_point(wq_l1 / 2, wq_l1 * 4, block);
+        out.writeAmpWpq.add(static_cast<double>(block), s1);
+        double s2 = wamp_point(wq_l2 / 2, wq_l2 * 4, block);
+        out.writeAmpLsq.add(static_cast<double>(block), s2);
+    }
+
+    return out;
+}
+
+PolicyProbe
+runPolicyProber(Driver &drv, const PolicyProberParams &p)
+{
+    PolicyProbe out;
+
+    // ---- Migration latency and frequency (Fig 7b) ----------------
+    auto ow = overwrite(drv, p.base, 256, p.overwriteIterations);
+    out.overwriteIterationNs = ow.iterationNs;
+    out.normalWriteNs = ow.medianNs;
+
+    std::vector<std::size_t> tail_idx;
+    double tail_sum = 0;
+    for (std::size_t i = 0; i < ow.iterationNs.size(); ++i) {
+        if (ow.iterationNs[i] > p.tailThreshold * ow.medianNs) {
+            tail_idx.push_back(i);
+            tail_sum += ow.iterationNs[i];
+        }
+    }
+    if (!tail_idx.empty()) {
+        out.tailLatencyUs =
+            tail_sum / static_cast<double>(tail_idx.size()) / 1000.0;
+        if (tail_idx.size() > 1) {
+            double interval_sum = 0;
+            for (std::size_t i = 1; i < tail_idx.size(); ++i)
+                interval_sum += static_cast<double>(tail_idx[i] -
+                                                    tail_idx[i - 1]);
+            out.tailIntervalWrites =
+                interval_sum / static_cast<double>(tail_idx.size() - 1);
+        }
+    }
+
+    // ---- Wear granularity (Fig 7c) --------------------------------
+    // Offset the base so power-of-two regions straddle wear blocks
+    // the way an arbitrary software allocation would.
+    std::size_t point = 0;
+    double first_ratio = -1;
+    for (std::uint64_t region : p.tailRegions) {
+        Addr base = p.base + (1ull << 30) +
+                    (static_cast<Addr>(point) << 26) + (32ull << 10);
+        std::uint64_t iters =
+            std::max<std::uint64_t>(p.tailSweepBytes / region, 4);
+        auto sweep_ow = overwrite(drv, base, region, iters);
+        std::uint64_t tails = 0;
+        for (double v : sweep_ow.iterationNs) {
+            if (v > p.tailThreshold * sweep_ow.medianNs)
+                ++tails;
+        }
+        std::uint64_t writes_256 =
+            iters * std::max<std::uint64_t>(region / 256, 1);
+        double ratio = writes_256
+                           ? static_cast<double>(tails) * 1000.0 /
+                                 static_cast<double>(writes_256)
+                           : 0;
+        out.tailRatioCurve.add(static_cast<double>(region), ratio);
+        if (first_ratio < 0)
+            first_ratio = ratio;
+        if (out.wearBlockSize == 0 && first_ratio > 0 &&
+            ratio < 0.2 * first_ratio) {
+            out.wearBlockSize = region;
+        }
+        ++point;
+    }
+
+    return out;
+}
+
+void
+runInterleaveProbe(Driver &interleaved, Driver &single,
+                   PolicyProbe &out, std::uint64_t max_bytes)
+{
+    // Deep store buffer so a fresh DIMM's WPQ can absorb a burst
+    // while the previous DIMM is still draining -- the overlap that
+    // makes interleaving visible to single-thread sequential writes.
+    auto measure = [](Driver &d, std::uint64_t bytes) {
+        std::vector<Addr> addrs;
+        for (Addr a = 0; a < bytes; a += cacheLineSize)
+            addrs.push_back(a);
+        Tick t = d.streamWrites(addrs, 32, 3.0);
+        d.fence();
+        return ticksToNs(t) / 1000.0; // us
+    };
+
+    std::uint64_t divergence = 0;
+    for (std::uint64_t bytes = 512; bytes <= max_bytes; bytes += 512) {
+        double t_int = measure(interleaved, bytes);
+        double t_one = measure(single, bytes);
+        out.seqWriteInterleaved.add(static_cast<double>(bytes), t_int);
+        out.seqWriteSingle.add(static_cast<double>(bytes), t_one);
+        if (divergence == 0 && t_one > 1.15 * t_int)
+            divergence = bytes;
+    }
+    // The largest block written to a single DIMM before striping
+    // helps is the interleave granularity.
+    if (divergence > 512)
+        out.interleaveGranularity = roundPow2(
+            static_cast<double>(divergence - 512));
+}
+
+PerfProbe
+runPerfProber(Driver &drv, const BufferProbe &buffers, Addr base)
+{
+    PerfProbe out;
+
+    std::uint64_t seq_lines = 32768;
+    out.seqReadGbps =
+        stride(drv, base, seq_lines, cacheLineSize, false, 16)
+            .gbPerSec;
+    out.seqWriteGbps =
+        stride(drv, base, seq_lines, cacheLineSize, true, 16).gbPerSec;
+    drv.fence();
+
+    // Random: one line per 4KB page over a large span defeats every
+    // buffer level.
+    std::uint64_t span_pages = 16384;
+    auto order = chaseOrder(base, span_pages * 4096, 4096, 16384, 99);
+    Tick t = drv.streamReads(order, 16);
+    double bytes = static_cast<double>(order.size()) * cacheLineSize;
+    out.randReadGbps = bytes / (ticksToNs(t) * 1e-9) / 1e9;
+    t = drv.streamWrites(order, 16);
+    drv.fence();
+    out.randWriteGbps = bytes / (ticksToNs(t) * 1e-9) / 1e9;
+
+    out.levelLatenciesNs = buffers.levelLatenciesNs;
+    return out;
+}
+
+} // namespace vans::lens

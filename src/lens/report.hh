@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Top-level LENS entry point: run all probers against a memory
+ * system and assemble the reverse-engineered architecture report
+ * (the right-hand side of the paper's Fig 4).
+ */
+
+#ifndef VANS_LENS_REPORT_HH
+#define VANS_LENS_REPORT_HH
+
+#include <string>
+
+#include "lens/probers.hh"
+
+namespace vans::lens
+{
+
+/** Complete LENS characterization of one memory system. */
+struct LensReport
+{
+    std::string systemName;
+    BufferProbe buffers;
+    PolicyProbe policy;
+    PerfProbe perf;
+
+    /** Render a human-readable summary (Fig 4-style parameters). */
+    std::string summary() const;
+};
+
+/** Knobs for a full LENS run. */
+struct LensParams
+{
+    BufferProberParams buffer;
+    PolicyProberParams policy;
+    bool runPolicy = true;
+    bool runPerf = true;
+};
+
+/** Run every prober against @p drv's memory system. */
+LensReport runLens(Driver &drv, const LensParams &params = {});
+
+} // namespace vans::lens
+
+#endif // VANS_LENS_REPORT_HH

@@ -1,0 +1,359 @@
+#include "nvram/ait.hh"
+
+#include "common/logging.hh"
+
+namespace vans::nvram
+{
+
+namespace
+{
+
+dram::DramGeometry
+onDimmDramGeometry()
+{
+    dram::DramGeometry g;
+    g.capacityBytes = 512ull << 20; // Table V: 512MB DDR4.
+    g.rowBytes = 8192;
+    return g;
+}
+
+} // namespace
+
+Ait::Ait(EventQueue &eq, const NvramConfig &config,
+         const std::string &name)
+    : eventq(eq),
+      cfg(config),
+      media(eq, config),
+      wear(eq, config),
+      dram(eq, config.dramTiming, onDimmDramGeometry(),
+           dram::SchedPolicy::FRFCFS, dram::MapScheme::RowBankCol,
+           name + ".dram"),
+      statGroup(name)
+{}
+
+Addr
+Ait::bufferSlotAddr(Addr addr) const
+{
+    // Buffer slots occupy the bottom of the on-DIMM DRAM; the slot
+    // index is derived from the page so repeated accesses map to
+    // stable DRAM rows (the timing, not the content, matters).
+    Addr page = pageOf(addr);
+    Addr slot = (page / cfg.aitLineBytes) % cfg.aitBufEntries;
+    return slot * cfg.aitLineBytes + (addr % cfg.aitLineBytes);
+}
+
+Addr
+Ait::tableEntryAddr(Addr page) const
+{
+    // Table region sits above the buffer region in on-DIMM DRAM.
+    Addr table_base =
+        static_cast<Addr>(cfg.aitBufEntries) * cfg.aitLineBytes;
+    Addr index = (page / cfg.aitLineBytes) % (1ull << 22);
+    return table_base + index * cacheLineSize;
+}
+
+Addr
+Ait::mediaAddrOf(Addr addr) const
+{
+    // Identity map: migrations move data between physical media
+    // locations, but for timing purposes only the partition spread
+    // matters, which the identity map preserves.
+    return addr;
+}
+
+bool
+Ait::tableCacheHit(Addr page)
+{
+    auto it = tlcMap.find(page);
+    if (it == tlcMap.end())
+        return false;
+    tlcLru.splice(tlcLru.begin(), tlcLru, it->second);
+    return true;
+}
+
+void
+Ait::tableCacheInsert(Addr page)
+{
+    if (tlcMap.count(page))
+        return;
+    tlcLru.push_front(page);
+    tlcMap[page] = tlcLru.begin();
+    while (tlcLru.size() > tlcCapacity) {
+        tlcMap.erase(tlcLru.back());
+        tlcLru.pop_back();
+    }
+}
+
+bool
+Ait::bufferHit(Addr page)
+{
+    auto it = bufferMap.find(page);
+    if (it == bufferMap.end())
+        return false;
+    lru.splice(lru.begin(), lru, it->second);
+    return true;
+}
+
+void
+Ait::installPage(Addr page)
+{
+    if (bufferMap.count(page))
+        return;
+    if (lru.size() >= cfg.aitBufEntries) {
+        // Write-through buffer: the victim is never dirty, drop it.
+        bufferMap.erase(lru.back().page);
+        lru.pop_back();
+        statGroup.scalar("buf_evictions").inc();
+    }
+    lru.push_front(BufferEntry{page, true});
+    bufferMap[page] = lru.begin();
+}
+
+void
+Ait::read(Addr addr, DoneCallback done)
+{
+    Addr page = pageOf(addr);
+    Tick tag_done = eventq.curTick() + nsToTicks(cfg.aitTagNs);
+    statGroup.scalar("reads").inc();
+
+    if (preTranslationFetch) {
+        // One extra on-DIMM DRAM access fetches the Pre-translation
+        // entry linked from the AIT entry (paper Fig 13b step 2-3).
+        Addr pt_addr = tableEntryAddr(page) + 8;
+        auto hook = preTranslationFetch;
+        eventq.schedule(tag_done, [this, pt_addr, addr, hook] {
+            dram.access(pt_addr, false, cacheLineSize,
+                        [hook, addr](Tick t) { hook(addr, t); });
+        });
+    }
+
+    if (bufferHit(page)) {
+        statGroup.scalar("buf_hits").inc();
+        // Even a buffer hit consults the translation entry (wear
+        // records live there): one extra on-DIMM DRAM access unless
+        // the translation cache has the page, then the 256B data
+        // read.
+        bool tlc = tableCacheHit(page);
+        eventq.schedule(tag_done, [this, addr, page, tlc,
+                                   done = std::move(done)]() mutable {
+            if (tlc) {
+                dram.access(bufferSlotAddr(addr), false,
+                            cfg.rmwLineBytes, std::move(done));
+                return;
+            }
+            dram.access(tableEntryAddr(page), false, cacheLineSize,
+                        [this, addr, page,
+                         done = std::move(done)](Tick) mutable {
+                            tableCacheInsert(page);
+                            dram.access(bufferSlotAddr(addr), false,
+                                        cfg.rmwLineBytes,
+                                        std::move(done));
+                        });
+        });
+        return;
+    }
+
+    statGroup.scalar("buf_misses").inc();
+    // Miss: translation lookup (DRAM read), then fetch the critical
+    // chunk from media; the rest of the 4KB line fills in the
+    // background while the requester proceeds. New misses throttle
+    // when the fill engine backs up -- the media must actually
+    // absorb 4KB per miss (this is the AIT read amplification).
+    Tick t0 = eventq.curTick();
+    auto start = std::make_shared<std::function<void()>>();
+    *start = [this, addr, page, t0, start,
+              done = std::move(done)]() mutable {
+        if (media.fillBacklog() > 24) {
+            statGroup.scalar("fill_throttle").inc();
+            eventq.scheduleAfter(nsToTicks(cfg.mediaReadNs), *start);
+            return;
+        }
+        dram.access(
+            tableEntryAddr(page), false, cacheLineSize,
+            [this, addr, page, t0,
+             done = std::move(done)](Tick t1) mutable {
+                statGroup.average("miss_table_ns")
+                    .sample(ticksToNs(t1 - t0));
+                tableCacheInsert(page);
+                Addr crit = alignDown(mediaAddrOf(addr),
+                                      cfg.mediaChunkBytes);
+                media.readChunk(
+                    crit, [this, addr, page, t1,
+                           done = std::move(done)](Tick t) mutable {
+                        statGroup.average("miss_crit_ns")
+                            .sample(ticksToNs(t - t1));
+                        installPage(page);
+                        statGroup.scalar("media_fills").inc();
+                        if (done)
+                            done(t);
+                        // Background fill of the remaining chunks,
+                        // mirrored into the buffer slot with one
+                        // row-friendly 4KB DRAM write once the last
+                        // chunk lands. Demand reads outrank these
+                        // writes at both the media and the DRAM
+                        // controller, so the latency plateaus are
+                        // unaffected while the fill bandwidth cost
+                        // is real.
+                        unsigned chunks = cfg.aitLineBytes /
+                                          cfg.mediaChunkBytes;
+                        Addr base = pageOf(mediaAddrOf(addr));
+                        Addr crit_c = alignDown(mediaAddrOf(addr),
+                                                cfg.mediaChunkBytes);
+                        auto left = std::make_shared<unsigned>(
+                            chunks - 1);
+                        for (unsigned i = 0; i < chunks; ++i) {
+                            Addr c = base + static_cast<Addr>(i) *
+                                                cfg.mediaChunkBytes;
+                            if (c == crit_c)
+                                continue;
+                            media.readChunkBackground(
+                                c, [this, page, left](Tick) {
+                                    if (--*left == 0) {
+                                        dram.access(
+                                            bufferSlotAddr(page),
+                                            true, cfg.aitLineBytes,
+                                            nullptr);
+                                    }
+                                });
+                        }
+                    });
+            });
+    };
+    eventq.schedule(tag_done, *start);
+}
+
+void
+Ait::readForFill(Addr addr, DoneCallback done)
+{
+    Addr page = pageOf(addr);
+    Tick tag_done = eventq.curTick() + nsToTicks(cfg.aitTagNs);
+    statGroup.scalar("fill_reads").inc();
+
+    if (bufferHit(page)) {
+        statGroup.scalar("buf_hits").inc();
+        bool tlc = tableCacheHit(page);
+        eventq.schedule(tag_done, [this, addr, page, tlc,
+                                   done = std::move(done)]() mutable {
+            if (tlc) {
+                dram.access(bufferSlotAddr(addr), false,
+                            cfg.rmwLineBytes, std::move(done));
+                return;
+            }
+            dram.access(tableEntryAddr(page), false, cacheLineSize,
+                        [this, addr, page,
+                         done = std::move(done)](Tick) mutable {
+                            tableCacheInsert(page);
+                            dram.access(bufferSlotAddr(addr), false,
+                                        cfg.rmwLineBytes,
+                                        std::move(done));
+                        });
+        });
+        return;
+    }
+
+    // No-allocate: one translation lookup plus a single media chunk.
+    statGroup.scalar("buf_misses").inc();
+    eventq.schedule(tag_done, [this, addr, page,
+                               done = std::move(done)]() mutable {
+        dram.access(tableEntryAddr(page), false, cacheLineSize,
+                    [this, addr,
+                     done = std::move(done)](Tick) mutable {
+                        Addr chunk = alignDown(mediaAddrOf(addr),
+                                               cfg.mediaChunkBytes);
+                        media.readChunk(chunk, std::move(done));
+                    });
+    });
+}
+
+bool
+Ait::canAcceptWrite() const
+{
+    return writeIntake.size() < writeIntakeDepth;
+}
+
+void
+Ait::acceptWrite(Addr addr, DoneCallback done)
+{
+    if (!canAcceptWrite())
+        panic("AIT write intake overflow (caller must check)");
+    writeIntake.push_back(
+        PendingWrite{addr, std::move(done), eventq.curTick()});
+    statGroup.scalar("writes").inc();
+    if (!drainBusy)
+        drainWrites();
+}
+
+void
+Ait::drainWrites()
+{
+    if (writeIntake.empty()) {
+        drainBusy = false;
+        return;
+    }
+    drainBusy = true;
+    PendingWrite &head = writeIntake.front();
+    Tick now = eventq.curTick();
+
+    // Lazy cache (paper section V-C): absorbed writes skip both the
+    // media write and the wear accounting.
+    if (writeAbsorber && writeAbsorber(head.addr)) {
+        PendingWrite w = std::move(writeIntake.front());
+        writeIntake.pop_front();
+        statGroup.scalar("lazy_absorbed").inc();
+        Tick at = now + nsToTicks(lazyAbsorbNs);
+        if (w.done) {
+            eventq.schedule(at, [done = std::move(w.done), at] {
+                done(at);
+            });
+        }
+        if (onWriteSpaceFreed)
+            onWriteSpaceFreed();
+        eventq.scheduleAfter(nsToTicks(2), [this] { drainWrites(); });
+        return;
+    }
+
+    // Wear-leveling stall: writes to a migrating block wait for the
+    // migration to finish (paper: "AIT stalls the inflight CPU
+    // writes to this block").
+    Tick blocked = wear.blockedUntil(head.addr);
+    if (blocked > now) {
+        statGroup.scalar("migration_stalls").inc();
+        eventq.schedule(blocked, [this] { drainWrites(); });
+        return;
+    }
+
+    // Media admission: propagate write pressure upstream.
+    Addr media_addr = alignDown(mediaAddrOf(head.addr),
+                                cfg.mediaChunkBytes);
+    if (!media.canAccept(media_addr)) {
+        Tick retry = std::max(media.partitionFreeAt(media_addr),
+                              now + 1);
+        eventq.schedule(retry, [this] { drainWrites(); });
+        return;
+    }
+
+    PendingWrite w = std::move(writeIntake.front());
+    writeIntake.pop_front();
+
+    // Write-through: media write plus a buffer-slot update when the
+    // page is resident (mirrored so later reads hit in the buffer).
+    wear.onMediaWrite(w.addr);
+    media.writeChunk(media_addr, nullptr);
+    if (bufferMap.count(pageOf(w.addr))) {
+        dram.access(bufferSlotAddr(w.addr), true, cfg.rmwLineBytes,
+                    nullptr);
+    }
+    statGroup.average("write_intake_ns")
+        .sample(ticksToNs(now - w.enqueueTick));
+    if (w.done)
+        w.done(now);
+    if (onWriteSpaceFreed)
+        onWriteSpaceFreed();
+
+    // Pace intake draining at the media write issue rate of one
+    // chunk per partition-turn; the canAccept() check above supplies
+    // the real backpressure.
+    eventq.scheduleAfter(nsToTicks(2), [this] { drainWrites(); });
+}
+
+} // namespace vans::nvram

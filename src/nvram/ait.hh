@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Address Indirection Table (AIT) model: translation table + data
+ * buffer, both living in the on-DIMM DRAM (paper sections III-C and
+ * IV-A).
+ *
+ * Responsibilities:
+ *  - CPU-address to media-address indirection at 4KB granularity.
+ *    The translation table is an array in on-DIMM DRAM; a lookup is
+ *    a 64B DRAM read on the critical path of every buffer miss.
+ *  - The AIT Buffer: 4096 x 4KB (16MB) of media data cached in the
+ *    on-DIMM DRAM. Read hits cost one 256B DRAM access. Read misses
+ *    fetch the critical 256B media chunk first (the requester
+ *    unblocks as soon as it arrives) and fill the remaining chunks
+ *    of the 4KB line in the background.
+ *  - Writes are write-through to media: every 256B write the RMW
+ *    buffer drains here is forwarded to the media (and mirrored into
+ *    the buffer when the line is resident). This is what makes
+ *    sustained write bandwidth media-limited and what feeds the
+ *    wear-leveling counters.
+ *  - Wear-leveling stalls: a write targeting a migrating 64KB block
+ *    waits until the migration completes (the Fig 7b tail).
+ *
+ * Backpressure: writes enter through a small bounded intake queue;
+ * canAcceptWrite()/onWriteSpaceFreed propagate media write pressure
+ * back to the RMW buffer and ultimately to the CPU store stream.
+ */
+
+#ifndef VANS_NVRAM_AIT_HH
+#define VANS_NVRAM_AIT_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram/controller.hh"
+#include "nvram/media.hh"
+#include "nvram/nvram_config.hh"
+#include "nvram/wear_leveler.hh"
+
+namespace vans::nvram
+{
+
+/** The AIT: translation + buffering between RMW buffer and media. */
+class Ait
+{
+  public:
+    using DoneCallback = std::function<void(Tick)>;
+
+    Ait(EventQueue &eq, const NvramConfig &cfg,
+        const std::string &name);
+
+    /**
+     * Read one RMW-granularity line (cfg.rmwLineBytes, aligned) at
+     * CPU address @p addr. @p done fires when the data is available
+     * to the RMW buffer. Misses allocate a buffer line.
+     */
+    void read(Addr addr, DoneCallback done);
+
+    /**
+     * Read for an RMW write-fill: fetches exactly one media chunk,
+     * does not allocate a buffer line on miss (write fills must not
+     * pollute the read-caching AIT buffer).
+     */
+    void readForFill(Addr addr, DoneCallback done);
+
+    /** True while the write intake has room. */
+    bool canAcceptWrite() const;
+
+    /**
+     * Accept one 256B write (write-through to media). @p done fires
+     * when the write has been issued to the media queue -- i.e. it
+     * is ordered and durable-bound; this is the point the fence
+     * quiescence check uses.
+     */
+    void acceptWrite(Addr addr, DoneCallback done);
+
+    /** Registered by the RMW buffer to learn about freed intake. */
+    std::function<void()> onWriteSpaceFreed;
+
+    /** True when no writes are queued or mid-flight in the AIT. */
+    bool writeQuiescent() const { return writeIntake.empty() &&
+                                         !drainBusy; }
+
+    WearLeveler &wearLeveler() { return wear; }
+    XPointMedia &mediaDev() { return media; }
+    dram::DramController &dramCtrl() { return dram; }
+    StatGroup &stats() { return statGroup; }
+
+    /**
+     * Pre-translation support (paper section V-B): when set, read()
+     * also performs the extra on-DIMM DRAM access that fetches the
+     * Pre-translation entry for this address. The hook receives the
+     * address and the tick the entry becomes available.
+     */
+    std::function<void(Addr, Tick)> preTranslationFetch;
+
+    /**
+     * Lazy-cache support (paper section V-C): consulted before each
+     * media write. Returning true absorbs the write into the lazy
+     * cache -- no media write, no wear -- and the AIT completes it
+     * after @ref lazyAbsorbNs instead.
+     */
+    std::function<bool(Addr)> writeAbsorber;
+
+    /** Service time of an absorbed (lazy-cached) write, ns. */
+    double lazyAbsorbNs = 15;
+
+  private:
+    struct BufferEntry
+    {
+        Addr page; ///< CPU page address (aligned to aitLineBytes).
+        bool fillComplete = true;
+    };
+
+    using LruList = std::list<BufferEntry>;
+
+    struct PendingWrite
+    {
+        Addr addr;
+        DoneCallback done;
+        Tick enqueueTick;
+    };
+
+    Addr pageOf(Addr addr) const { return alignDown(addr,
+                                                    cfg.aitLineBytes); }
+
+    /** On-DIMM DRAM address of buffer slot content for @p addr. */
+    Addr bufferSlotAddr(Addr addr) const;
+
+    /** On-DIMM DRAM address of the translation entry for a page. */
+    Addr tableEntryAddr(Addr page) const;
+
+    /** Media address for @p addr (identity + migration salt). */
+    Addr mediaAddrOf(Addr addr) const;
+
+    /** Look up page in buffer; bumps LRU on hit. */
+    bool bufferHit(Addr page);
+
+    /** Install @p page, evicting LRU if needed. */
+    void installPage(Addr page);
+
+    void drainWrites();
+
+    EventQueue &eventq;
+    NvramConfig cfg;
+    XPointMedia media;
+    WearLeveler wear;
+    dram::DramController dram;
+
+    LruList lru; ///< Front = most recent.
+    std::unordered_map<Addr, LruList::iterator> bufferMap;
+
+    /** Small translation cache in the DIMM controller: pages whose
+     *  AIT entry was read recently skip the table DRAM access.
+     *  Pointer chases over many pages miss it (the latency curves
+     *  keep the table cost); streaming accesses hit it (sustained
+     *  bandwidth is data-limited, as measured on the device). */
+    std::list<Addr> tlcLru;
+    std::unordered_map<Addr, std::list<Addr>::iterator> tlcMap;
+    std::size_t tlcCapacity = 128;
+
+    bool tableCacheHit(Addr page);
+    void tableCacheInsert(Addr page);
+
+    std::deque<PendingWrite> writeIntake;
+    std::size_t writeIntakeDepth = 4;
+    bool drainBusy = false;
+
+    StatGroup statGroup;
+};
+
+} // namespace vans::nvram
+
+#endif // VANS_NVRAM_AIT_HH

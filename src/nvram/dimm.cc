@@ -1,0 +1,34 @@
+#include "nvram/dimm.hh"
+
+namespace vans::nvram
+{
+
+NvramDimm::NvramDimm(EventQueue &eq, const NvramConfig &config,
+                     const std::string &name)
+    : eventq(eq),
+      cfg(config),
+      aitStage(eq, config, name + ".ait"),
+      rmwStage(eq, config, aitStage, name + ".rmw"),
+      lsqStage(eq, config, rmwStage, name + ".lsq")
+{}
+
+void
+NvramDimm::read(Addr addr, DoneCallback done)
+{
+    // DIMM controller pipeline + LSQ probe.
+    Tick probe_at = eventq.curTick() +
+                    nsToTicks(cfg.dimmCtrlNs + cfg.lsqProbeNs);
+    eventq.schedule(probe_at, [this, addr,
+                               done = std::move(done)]() mutable {
+        bool hazard = lsqStage.readProbe(
+            addr, [this, addr, done](Tick) mutable {
+                // The pending write has reached the RMW buffer; the
+                // read now completes from there.
+                rmwStage.read(addr, std::move(done));
+            });
+        if (!hazard)
+            rmwStage.read(addr, std::move(done));
+    });
+}
+
+} // namespace vans::nvram

@@ -1,0 +1,244 @@
+#include "nvram/imc.hh"
+
+#include "common/logging.hh"
+
+namespace vans::nvram
+{
+
+Imc::Imc(EventQueue &eq, const NvramConfig &config,
+         const std::string &name)
+    : eventq(eq), cfg(config), statGroup(name)
+{
+    channels.resize(cfg.numDimms);
+    for (unsigned i = 0; i < cfg.numDimms; ++i) {
+        channels[i].dimm = std::make_unique<NvramDimm>(
+            eq, cfg, name + ".dimm" + std::to_string(i));
+        channels[i].dimm->setWriteSpaceCallback(
+            [this, i] { wpqDrain(i); });
+    }
+}
+
+unsigned
+Imc::dimmOf(Addr addr) const
+{
+    if (cfg.numDimms == 1)
+        return 0;
+    if (cfg.interleaved) {
+        return static_cast<unsigned>(
+            (addr / cfg.interleaveBytes) % cfg.numDimms);
+    }
+    return static_cast<unsigned>((addr / cfg.dimmCapacity) %
+                                 cfg.numDimms);
+}
+
+Tick
+Imc::busTransfer(Channel &ch, bool write, std::uint32_t bytes)
+{
+    Tick now = eventq.curTick();
+    Tick start = std::max(now, ch.bus.freeAt);
+    if (ch.bus.used && ch.bus.lastWasWrite != write) {
+        start += nsToTicks(cfg.busTurnaroundNs);
+        statGroup.scalar("bus_turnarounds").inc();
+    }
+    unsigned beats = (bytes + cacheLineSize - 1) / cacheLineSize;
+    Tick occupancy = nsToTicks(cfg.busCmdNs) +
+                     beats * nsToTicks(cfg.busDataPer64bNs);
+    ch.bus.freeAt = start + occupancy;
+    ch.bus.lastWasWrite = write;
+    ch.bus.used = true;
+    return start + occupancy;
+}
+
+void
+Imc::issueWrite(RequestPtr req)
+{
+    statGroup.scalar("writes").inc();
+    // Core -> uncore -> iMC pipeline before the WPQ probe.
+    eventq.scheduleAfter(nsToTicks(cfg.coreToImcNs), [this, req] {
+        unsigned ci = dimmOf(req->addr);
+        Channel &ch = channels[ci];
+        Addr line = alignDown(req->addr, cacheLineSize);
+
+        if (ch.wpqMap.count(line)) {
+            // Merge into the pending entry: already in ADR.
+            statGroup.scalar("wpq_merges").inc();
+            req->complete(eventq.curTick());
+            return;
+        }
+        if (ch.wpqMap.size() < cfg.wpqEntries) {
+            wpqInsert(ch, line, req);
+            wpqDrain(ci);
+            return;
+        }
+        // WPQ full: the store stalls until a slot frees.
+        statGroup.scalar("wpq_stalls").inc();
+        ch.wpqWaiting.push_back(req);
+        wpqDrain(ci);
+    });
+}
+
+void
+Imc::wpqInsert(Channel &ch, Addr line, RequestPtr req)
+{
+    ch.wpqMap[line] = true;
+    ch.wpqFifo.push_back(line);
+    req->complete(eventq.curTick());
+}
+
+void
+Imc::wpqDrain(unsigned ci)
+{
+    Channel &ch = channels[ci];
+    if (ch.wpqDrainBusy || ch.wpqFifo.empty())
+        return;
+    Addr line = ch.wpqFifo.front();
+    if (!ch.dimm->canAcceptWrite(line))
+        return; // Resumed by the DIMM's write-space callback.
+
+    ch.wpqDrainBusy = true;
+    ch.wpqFifo.pop_front();
+    Tick arrival = busTransfer(ch, true, cacheLineSize);
+    eventq.schedule(arrival, [this, ci, line] {
+        Channel &c = channels[ci];
+        c.dimm->acceptWrite(line);
+        c.wpqMap.erase(line);
+
+        // Reads held on this WPQ line may now proceed to the DIMM.
+        auto range = c.wpqReadHazards.equal_range(line);
+        std::vector<RequestPtr> ready;
+        for (auto it = range.first; it != range.second; ++it)
+            ready.push_back(it->second);
+        c.wpqReadHazards.erase(range.first, range.second);
+        for (auto &r : ready)
+            startRead(ci, r);
+
+        // Admit a waiting store into the freed slot.
+        if (!c.wpqWaiting.empty()) {
+            RequestPtr w = c.wpqWaiting.front();
+            c.wpqWaiting.pop_front();
+            Addr wline = alignDown(w->addr, cacheLineSize);
+            if (c.wpqMap.count(wline)) {
+                statGroup.scalar("wpq_merges").inc();
+                w->complete(eventq.curTick());
+            } else {
+                wpqInsert(c, wline, w);
+            }
+        }
+
+        // Request/grant handshake paces the next drain.
+        eventq.scheduleAfter(nsToTicks(cfg.wpqGrantNs), [this, ci] {
+            channels[ci].wpqDrainBusy = false;
+            wpqDrain(ci);
+        });
+    });
+}
+
+void
+Imc::issueRead(RequestPtr req)
+{
+    statGroup.scalar("reads").inc();
+    eventq.scheduleAfter(nsToTicks(cfg.coreToImcNs), [this, req] {
+        unsigned ci = dimmOf(req->addr);
+        Channel &ch = channels[ci];
+        Addr line = alignDown(req->addr, cacheLineSize);
+
+        // Read-after-write ordering at the iMC: a read that hits a
+        // pending WPQ line waits for that line to drain (NT loads do
+        // not forward from the WPQ -- section III-C's RaW behaviour).
+        if (ch.wpqMap.count(line)) {
+            statGroup.scalar("wpq_read_hazards").inc();
+            ch.wpqReadHazards.emplace(line, req);
+            return;
+        }
+        startRead(ci, req);
+    });
+}
+
+void
+Imc::startRead(unsigned ci, RequestPtr req)
+{
+    Channel &ch = channels[ci];
+    if (ch.rpqInFlight >= cfg.rpqEntries) {
+        ch.rpqWaiting.push_back(req);
+        return;
+    }
+    ++ch.rpqInFlight;
+
+    // Command phase over the bus.
+    Tick cmd_arrival = busTransfer(ch, false, 0);
+    eventq.schedule(cmd_arrival, [this, ci, req] {
+        Channel &c = channels[ci];
+        c.dimm->read(req->addr, [this, ci, req](Tick) {
+            // Data staged at the DIMM: grant + data return phase.
+            Channel &c2 = channels[ci];
+            Tick data_arrival = busTransfer(c2, false, req->size);
+            Tick at_core = data_arrival + nsToTicks(cfg.coreToImcNs);
+            eventq.schedule(at_core, [this, ci, req, at_core] {
+                Channel &c3 = channels[ci];
+                req->complete(at_core);
+                --c3.rpqInFlight;
+                if (!c3.rpqWaiting.empty()) {
+                    RequestPtr next = c3.rpqWaiting.front();
+                    c3.rpqWaiting.pop_front();
+                    startRead(ci, next);
+                }
+            });
+        });
+    });
+}
+
+void
+Imc::issueFence(RequestPtr req)
+{
+    statGroup.scalar("fences").inc();
+    pendingFences.push_back(req);
+    checkFences();
+}
+
+void
+Imc::checkFences()
+{
+    if (pendingFences.empty())
+        return;
+
+    // Seal only once the WPQs have drained: sealing earlier would
+    // split 256B blocks whose lines are still crossing the bus into
+    // separate partial drains, which the real fence does not do.
+    bool wpq_quiet = true;
+    for (const auto &ch : channels) {
+        if (!ch.wpqMap.empty() || !ch.wpqWaiting.empty() ||
+            ch.wpqDrainBusy) {
+            wpq_quiet = false;
+            break;
+        }
+    }
+    if (wpq_quiet) {
+        for (auto &ch : channels)
+            ch.dimm->seal();
+    }
+
+    bool quiet = wpq_quiet;
+    for (const auto &ch : channels) {
+        if (!ch.wpqMap.empty() || !ch.wpqWaiting.empty() ||
+            ch.wpqDrainBusy || !ch.dimm->writeQuiescent()) {
+            quiet = false;
+            break;
+        }
+    }
+    if (quiet) {
+        Tick now = eventq.curTick();
+        for (auto &f : pendingFences)
+            f->complete(now);
+        pendingFences.clear();
+        return;
+    }
+    if (!fencePollScheduled) {
+        fencePollScheduled = true;
+        eventq.scheduleAfter(nsToTicks(20), [this] {
+            fencePollScheduled = false;
+            checkFences();
+        });
+    }
+}
+
+} // namespace vans::nvram

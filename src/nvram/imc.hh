@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Integrated memory controller (iMC) model for NVRAM channels.
+ *
+ * Per DIMM, the iMC keeps:
+ *  - the WPQ: 8 x 64B (512B) write pending queue inside the ADR
+ *    persistence domain. NT stores complete, from the CPU's point of
+ *    view, when they enter (or merge into) the WPQ. The WPQ drains
+ *    over the DDR-T bus with a request/grant handshake per write --
+ *    the pacing behind the 512B inflection of the store latency
+ *    curve (Fig 5a).
+ *  - the RPQ: a cap on in-flight reads (request/grant scheme: the
+ *    DIMM pushes data back when the iMC grants an RPQ slot).
+ *  - a DDR-T bus with per-direction occupancy and a turnaround
+ *    penalty when ownership flips between reads and writes (the
+ *    "memory bus redirection" the paper blames for RaW latency).
+ *
+ * Across DIMMs the iMC implements the 4KB interleaving the policy
+ * prober detects (Fig 7a), and fences complete at write-path
+ * quiescence: every pre-fence write has reached AIT write ordering.
+ */
+
+#ifndef VANS_NVRAM_IMC_HH
+#define VANS_NVRAM_IMC_HH
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/request.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "nvram/dimm.hh"
+#include "nvram/nvram_config.hh"
+
+namespace vans::nvram
+{
+
+/** The processor-side memory controller driving NVRAM DIMMs. */
+class Imc
+{
+  public:
+    Imc(EventQueue &eq, const NvramConfig &cfg,
+        const std::string &name);
+
+    /** Route a 64B line to its DIMM. */
+    unsigned dimmOf(Addr addr) const;
+
+    /** Issue one read (completes when data is back at the core). */
+    void issueRead(RequestPtr req);
+
+    /** Issue one write (completes at WPQ entry/merge: ADR reached). */
+    void issueWrite(RequestPtr req);
+
+    /** Issue a fence (completes at write-path quiescence). */
+    void issueFence(RequestPtr req);
+
+    NvramDimm &dimm(unsigned i) { return *channels[i].dimm; }
+    unsigned numDimms() const
+    {
+        return static_cast<unsigned>(channels.size());
+    }
+
+    StatGroup &stats() { return statGroup; }
+
+  private:
+    struct DdrtBus
+    {
+        Tick freeAt = 0;
+        bool lastWasWrite = false;
+        bool used = false;
+    };
+
+    struct Channel
+    {
+        std::unique_ptr<NvramDimm> dimm;
+        // WPQ: line address -> present; FIFO order for draining.
+        std::map<Addr, bool> wpqMap;
+        std::deque<Addr> wpqFifo;
+        std::deque<RequestPtr> wpqWaiting;
+        bool wpqDrainBusy = false;
+        // Reads blocked on a WPQ line (read-after-write at the iMC).
+        std::multimap<Addr, RequestPtr> wpqReadHazards;
+        // RPQ.
+        unsigned rpqInFlight = 0;
+        std::deque<RequestPtr> rpqWaiting;
+        DdrtBus bus;
+    };
+
+    /**
+     * Claim the channel bus for a transfer. @return transfer end
+     * (the bus is occupied from the computed start to the end).
+     */
+    Tick busTransfer(Channel &ch, bool write, std::uint32_t bytes);
+
+    void wpqInsert(Channel &ch, Addr line, RequestPtr req);
+    void wpqDrain(unsigned ci);
+    void startRead(unsigned ci, RequestPtr req);
+    void checkFences();
+
+    EventQueue &eventq;
+    NvramConfig cfg;
+    std::vector<Channel> channels;
+    std::vector<RequestPtr> pendingFences;
+    bool fencePollScheduled = false;
+
+    StatGroup statGroup;
+};
+
+} // namespace vans::nvram
+
+#endif // VANS_NVRAM_IMC_HH

@@ -1,0 +1,211 @@
+#include "nvram/lsq.hh"
+
+#include "common/logging.hh"
+
+namespace vans::nvram
+{
+
+Lsq::Lsq(EventQueue &eq, const NvramConfig &config, RmwBuffer &rmw_ref,
+         const std::string &name)
+    : eventq(eq), cfg(config), rmw(rmw_ref), statGroup(name)
+{
+    rmw.onSpaceFreed = [this] { drain(); };
+}
+
+bool
+Lsq::canAcceptWrite(Addr addr) const
+{
+    Addr block = blockOf(addr);
+    auto it = groups.find(block);
+    if (it != groups.end() && !it->second.draining) {
+        unsigned lane = static_cast<unsigned>(
+            (addr / cacheLineSize) % linesPerBlock());
+        if (it->second.presentMask & (1u << lane))
+            return true; // Merge onto a pending line: free.
+    }
+    return numEntries < cfg.lsqEntries;
+}
+
+void
+Lsq::acceptWrite(Addr addr)
+{
+    Addr block = blockOf(addr);
+    unsigned lane = static_cast<unsigned>(
+        (addr / cacheLineSize) % linesPerBlock());
+    Tick now = eventq.curTick();
+
+    auto it = groups.find(block);
+    if (it != groups.end() && !it->second.draining) {
+        Group &g = it->second;
+        if (g.presentMask & (1u << lane)) {
+            statGroup.scalar("write_merges").inc();
+        } else {
+            g.presentMask |= (1u << lane);
+            ++numEntries;
+            statGroup.scalar("writes").inc();
+        }
+        g.lastTouch = now;
+        if (groupFull(g))
+            scheduleDrainCheck(now);
+        else
+            scheduleDrainCheck(now + nsToTicks(cfg.lsqEpochNs));
+        return;
+    }
+
+    if (numEntries >= cfg.lsqEntries)
+        panic("LSQ acceptWrite without room (check canAccept)");
+
+    Group &g = groups[block];
+    if (g.presentMask == 0 && !g.draining) {
+        g.block = block;
+        g.oldest = now;
+    }
+    g.presentMask |= (1u << lane);
+    g.lastTouch = now;
+    ++numEntries;
+    statGroup.scalar("writes").inc();
+    if (groupFull(g))
+        scheduleDrainCheck(now);
+    else
+        scheduleDrainCheck(now + nsToTicks(cfg.lsqEpochNs));
+
+    // High-watermark pressure keeps the queue from deadlocking the
+    // bus when random traffic never completes a block.
+    if (numEntries >= cfg.lsqEntries - cfg.lsqEntries / 8)
+        scheduleDrainCheck(now);
+}
+
+bool
+Lsq::readProbe(Addr addr, DoneCallback hazard_done)
+{
+    Addr block = blockOf(addr);
+    auto it = groups.find(block);
+    if (it == groups.end())
+        return false;
+    unsigned lane = static_cast<unsigned>(
+        (addr / cacheLineSize) % linesPerBlock());
+    Group &g = it->second;
+    if (!g.draining && !(g.presentMask & (1u << lane)))
+        return false;
+
+    // Read-after-write hazard: force the group out and hold the
+    // read until the data reaches the RMW buffer.
+    statGroup.scalar("raw_hazards").inc();
+    g.sealed = true;
+    g.hazardWaiters.push_back(std::move(hazard_done));
+    scheduleDrainCheck(eventq.curTick());
+    return true;
+}
+
+void
+Lsq::seal()
+{
+    for (auto &kv : groups)
+        kv.second.sealed = true;
+    statGroup.scalar("seals").inc();
+    scheduleDrainCheck(eventq.curTick());
+}
+
+void
+Lsq::scheduleDrainCheck(Tick when)
+{
+    when = std::max(when, eventq.curTick());
+    if (drainCheckScheduled && drainCheckAt <= when)
+        return;
+    drainCheckScheduled = true;
+    drainCheckAt = when;
+    eventq.schedule(when, [this, when] {
+        if (drainCheckScheduled && drainCheckAt == when) {
+            drainCheckScheduled = false;
+            drain();
+        }
+    });
+}
+
+void
+Lsq::drain()
+{
+    Tick now = eventq.curTick();
+    Tick epoch = nsToTicks(cfg.lsqEpochNs);
+    bool pressured =
+        numEntries >= cfg.lsqEntries - cfg.lsqEntries / 8;
+
+    Tick next_check = 0;
+    // Oldest-first scan; groups is small (<= lsqEntries).
+    Group *oldest_ready = nullptr;
+    Group *oldest_any = nullptr;
+    for (auto &kv : groups) {
+        Group &g = kv.second;
+        if (g.draining || g.presentMask == 0)
+            continue;
+        // Capacity pressure evicts the least-recently-touched
+        // group: it is the least likely to complete its block.
+        if (!oldest_any || g.lastTouch < oldest_any->lastTouch)
+            oldest_any = &g;
+        // The combining epoch is measured from the *last* touch:
+        // actively rewritten groups stay and keep absorbing writes,
+        // which is what keeps sub-LSQ working sets cheap (the 4KB
+        // store plateau of Fig 5a).
+        bool ready = groupFull(g) || g.sealed ||
+                     now >= g.lastTouch + epoch;
+        if (ready) {
+            if (!oldest_ready || g.oldest < oldest_ready->oldest)
+                oldest_ready = &g;
+        } else {
+            Tick t = g.lastTouch + epoch;
+            if (!next_check || t < next_check)
+                next_check = t;
+        }
+    }
+
+    Group *pick = oldest_ready;
+    if (!pick && pressured)
+        pick = oldest_any;
+    if (!pick) {
+        if (next_check)
+            scheduleDrainCheck(next_check);
+        return;
+    }
+
+    if (!rmw.canAcceptWrite(pick->block))
+        return; // rmw.onSpaceFreed re-enters drain().
+
+    startGroupDrain(*pick);
+}
+
+void
+Lsq::startGroupDrain(Group &g)
+{
+    unsigned lines = popcount(g.presentMask);
+    std::uint32_t bytes = lines * cacheLineSize;
+    if (bytes >= cfg.rmwLineBytes)
+        statGroup.scalar("combined_drains").inc();
+    else
+        statGroup.scalar("partial_drains").inc();
+    statGroup.average("drain_lines").sample(lines);
+
+    Addr block = g.block;
+    auto waiters = std::move(g.hazardWaiters);
+
+    // The group moves into a drain latch: it leaves the queue now so
+    // concurrent writes to the same block open a fresh group, and
+    // its entries free immediately for the bus to refill.
+    numEntries -= lines;
+    groups.erase(block);
+    ++drainLatch;
+
+    rmw.acceptWrite(
+        block, bytes,
+        [this, waiters = std::move(waiters)](Tick t) mutable {
+            --drainLatch;
+            for (auto &w : waiters) {
+                if (w)
+                    w(t);
+            }
+            drain();
+        });
+    if (onSpaceFreed)
+        onSpaceFreed();
+}
+
+} // namespace vans::nvram

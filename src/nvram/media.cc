@@ -1,0 +1,131 @@
+#include "nvram/media.hh"
+
+namespace vans::nvram
+{
+
+XPointMedia::XPointMedia(EventQueue &eq, const NvramConfig &config)
+    : eventq(eq),
+      cfg(config),
+      partitions(config.mediaPartitions),
+      readTicks(nsToTicks(config.mediaReadNs)),
+      writeTicks(nsToTicks(config.mediaWriteNs)),
+      statGroup("media")
+{}
+
+unsigned
+XPointMedia::partitionOf(Addr media_addr) const
+{
+    return static_cast<unsigned>(
+        (media_addr / cfg.mediaChunkBytes) % partitions.size());
+}
+
+void
+XPointMedia::kick(unsigned pi)
+{
+    Partition &p = partitions[pi];
+    if (p.busy)
+        return;
+    // Demand reads outrank writes outrank background fills: a
+    // pointer-chasing critical chunk must not queue behind the
+    // previous miss's background fill.
+    std::deque<Op> *q = nullptr;
+    if (!p.demand.empty())
+        q = &p.demand;
+    else if (!p.writes.empty())
+        q = &p.writes;
+    else if (!p.fills.empty())
+        q = &p.fills;
+    if (!q)
+        return;
+
+    Op op = std::move(q->front());
+    q->pop_front();
+    p.busy = true;
+    Tick start = std::max(eventq.curTick(), p.freeAt);
+    Tick finish = start + (op.write ? writeTicks : readTicks);
+    p.freeAt = finish;
+    statGroup.average(op.write ? "write_queue_ns" : "read_queue_ns")
+        .sample(ticksToNs(start - eventq.curTick()));
+    eventq.schedule(finish, [this, pi, finish,
+                             done = std::move(op.done)] {
+        partitions[pi].busy = false;
+        if (done)
+            done(finish);
+        kick(pi);
+    });
+}
+
+void
+XPointMedia::enqueue(Addr media_addr, bool write, Priority prio,
+                     DoneCallback done)
+{
+    unsigned pi = partitionOf(media_addr);
+    Partition &p = partitions[pi];
+    statGroup.scalar(write ? "chunk_writes" : "chunk_reads").inc();
+    Op op{write, std::move(done)};
+    switch (prio) {
+      case Priority::Demand:
+        p.demand.push_back(std::move(op));
+        break;
+      case Priority::Write:
+        p.writes.push_back(std::move(op));
+        break;
+      case Priority::Fill:
+        p.fills.push_back(std::move(op));
+        break;
+    }
+    kick(pi);
+}
+
+void
+XPointMedia::readChunk(Addr media_addr, DoneCallback done)
+{
+    enqueue(media_addr, false, Priority::Demand, std::move(done));
+}
+
+void
+XPointMedia::readChunkBackground(Addr media_addr, DoneCallback done)
+{
+    enqueue(media_addr, false, Priority::Fill, std::move(done));
+}
+
+void
+XPointMedia::writeChunk(Addr media_addr, DoneCallback done)
+{
+    enqueue(media_addr, true, Priority::Write, std::move(done));
+}
+
+Tick
+XPointMedia::partitionFreeAt(Addr media_addr) const
+{
+    return partitions[partitionOf(media_addr)].freeAt;
+}
+
+bool
+XPointMedia::canAccept(Addr media_addr) const
+{
+    const Partition &p = partitions[partitionOf(media_addr)];
+    return p.writes.size() < maxQueueDepth;
+}
+
+std::size_t
+XPointMedia::fillBacklog() const
+{
+    std::size_t n = 0;
+    for (const auto &p : partitions)
+        n += p.fills.size();
+    return n;
+}
+
+std::size_t
+XPointMedia::pendingOps() const
+{
+    std::size_t n = 0;
+    for (const auto &p : partitions) {
+        n += p.demand.size() + p.writes.size() + p.fills.size() +
+             (p.busy ? 1 : 0);
+    }
+    return n;
+}
+
+} // namespace vans::nvram

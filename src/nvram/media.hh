@@ -1,0 +1,112 @@
+/**
+ * @file
+ * 3D-XPoint media model.
+ *
+ * The media is an array of 256B chunks spread over a small number of
+ * independent partitions (die groups). Each partition services one
+ * chunk operation at a time from three priority queues -- demand
+ * reads, writes, then background fills -- with reads several times
+ * faster than writes, matching the asymmetry the paper's
+ * characterization shows. Addresses given to the media are *media*
+ * addresses: the AIT above performs the CPU-to-media indirection,
+ * and wear-leveling migrations change that mapping, not this device.
+ */
+
+#ifndef VANS_NVRAM_MEDIA_HH
+#define VANS_NVRAM_MEDIA_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "nvram/nvram_config.hh"
+
+namespace vans::nvram
+{
+
+/** The non-volatile media array behind the AIT. */
+class XPointMedia
+{
+  public:
+    using DoneCallback = std::function<void(Tick)>;
+
+    XPointMedia(EventQueue &eq, const NvramConfig &cfg);
+
+    /**
+     * Demand-read one media chunk (cfg.mediaChunkBytes at
+     * @p media_addr, chunk-aligned). Highest priority.
+     */
+    void readChunk(Addr media_addr, DoneCallback done);
+
+    /** Background fill read: lowest priority. */
+    void readChunkBackground(Addr media_addr, DoneCallback done);
+
+    /** Write one media chunk. @p done fires at persist time. */
+    void writeChunk(Addr media_addr, DoneCallback done);
+
+    /** Earliest tick the partition owning @p media_addr frees. */
+    Tick partitionFreeAt(Addr media_addr) const;
+
+    /**
+     * Write admission control: true while the owning partition's
+     * write queue is below its depth limit. Callers seeing false
+     * must retry (e.g. at partitionFreeAt()); this is how media
+     * write pressure propagates back to the CPU store stream.
+     */
+    bool canAccept(Addr media_addr) const;
+
+    /** Queue depth over all partitions (pending + in flight). */
+    std::size_t pendingOps() const;
+
+    /** Outstanding background-fill chunks across all partitions.
+     *  The AIT throttles new misses when this backs up, which is
+     *  what converts 4KB-per-miss fills into a real bandwidth cost
+     *  instead of silently deferred work. */
+    std::size_t fillBacklog() const;
+
+    StatGroup &stats() { return statGroup; }
+
+  private:
+    enum class Priority : std::uint8_t
+    {
+        Demand,
+        Write,
+        Fill,
+    };
+
+    struct Op
+    {
+        bool write;
+        DoneCallback done;
+    };
+
+    struct Partition
+    {
+        Tick freeAt = 0;
+        bool busy = false;
+        std::deque<Op> demand;
+        std::deque<Op> writes;
+        std::deque<Op> fills;
+    };
+
+    unsigned partitionOf(Addr media_addr) const;
+    void enqueue(Addr media_addr, bool write, Priority prio,
+                 DoneCallback done);
+    void kick(unsigned pi);
+
+    EventQueue &eventq;
+    NvramConfig cfg;
+    std::vector<Partition> partitions;
+    Tick readTicks;
+    Tick writeTicks;
+    std::uint64_t maxQueueDepth = 4;
+    StatGroup statGroup;
+};
+
+} // namespace vans::nvram
+
+#endif // VANS_NVRAM_MEDIA_HH

@@ -1,0 +1,62 @@
+#include "nvram/nvram_config.hh"
+
+namespace vans::nvram
+{
+
+NvramConfig
+NvramConfig::optaneDefault()
+{
+    return NvramConfig{};
+}
+
+NvramConfig
+NvramConfig::fromConfig(const Config &cfg)
+{
+    NvramConfig c;
+    const std::string s = "nvram";
+    c.numDimms = static_cast<unsigned>(
+        cfg.getU64(s, "num_dimms", c.numDimms));
+    c.interleaved = cfg.getBool(s, "interleaved", c.interleaved);
+    c.interleaveBytes =
+        cfg.getU64(s, "interleave_bytes", c.interleaveBytes);
+    c.dimmCapacity = cfg.getU64(s, "dimm_capacity", c.dimmCapacity);
+    c.wpqEntries = static_cast<unsigned>(
+        cfg.getU64(s, "wpq_entries", c.wpqEntries));
+    c.rpqEntries = static_cast<unsigned>(
+        cfg.getU64(s, "rpq_entries", c.rpqEntries));
+    c.coreToImcNs = cfg.getDouble(s, "core_to_imc_ns", c.coreToImcNs);
+    c.busCmdNs = cfg.getDouble(s, "bus_cmd_ns", c.busCmdNs);
+    c.busDataPer64bNs =
+        cfg.getDouble(s, "bus_data_per_64b_ns", c.busDataPer64bNs);
+    c.busTurnaroundNs =
+        cfg.getDouble(s, "bus_turnaround_ns", c.busTurnaroundNs);
+    c.wpqGrantNs = cfg.getDouble(s, "wpq_grant_ns", c.wpqGrantNs);
+    c.lsqEntries = static_cast<unsigned>(
+        cfg.getU64(s, "lsq_entries", c.lsqEntries));
+    c.lsqProbeNs = cfg.getDouble(s, "lsq_probe_ns", c.lsqProbeNs);
+    c.lsqEpochNs = cfg.getDouble(s, "lsq_epoch_ns", c.lsqEpochNs);
+    c.rmwEntries = static_cast<unsigned>(
+        cfg.getU64(s, "rmw_entries", c.rmwEntries));
+    c.rmwLineBytes = static_cast<std::uint32_t>(
+        cfg.getU64(s, "rmw_line_bytes", c.rmwLineBytes));
+    c.rmwAccessNs = cfg.getDouble(s, "rmw_access_ns", c.rmwAccessNs);
+    c.aitBufEntries = static_cast<unsigned>(
+        cfg.getU64(s, "ait_buf_entries", c.aitBufEntries));
+    c.aitLineBytes = static_cast<std::uint32_t>(
+        cfg.getU64(s, "ait_line_bytes", c.aitLineBytes));
+    c.aitTagNs = cfg.getDouble(s, "ait_tag_ns", c.aitTagNs);
+    c.mediaChunkBytes = static_cast<std::uint32_t>(
+        cfg.getU64(s, "media_chunk_bytes", c.mediaChunkBytes));
+    c.mediaPartitions = static_cast<unsigned>(
+        cfg.getU64(s, "media_partitions", c.mediaPartitions));
+    c.mediaReadNs = cfg.getDouble(s, "media_read_ns", c.mediaReadNs);
+    c.mediaWriteNs = cfg.getDouble(s, "media_write_ns", c.mediaWriteNs);
+    c.wearBlockBytes =
+        cfg.getU64(s, "wear_block_bytes", c.wearBlockBytes);
+    c.wearThreshold = cfg.getU64(s, "wear_threshold", c.wearThreshold);
+    c.migrationUs = cfg.getDouble(s, "migration_us", c.migrationUs);
+    c.dimmCtrlNs = cfg.getDouble(s, "dimm_ctrl_ns", c.dimmCtrlNs);
+    return c;
+}
+
+} // namespace vans::nvram

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * All tunable parameters of the VANS NVRAM model in one place.
+ *
+ * Defaults reproduce the Optane DIMM parameters characterized in the
+ * paper (Fig 4 / Table V): 512B WPQ per channel, 4KB on-DIMM LSQ with
+ * 64B entries, 16KB RMW buffer with 256B entries, 16MB AIT buffer
+ * with 4KB entries, 256B media access granularity, 4KB multi-DIMM
+ * interleaving, and 64KB wear-leveling blocks that migrate after
+ * ~14,000 writes with a ~100x latency stall.
+ */
+
+#ifndef VANS_NVRAM_NVRAM_CONFIG_HH
+#define VANS_NVRAM_NVRAM_CONFIG_HH
+
+#include <cstdint>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "dram/timing.hh"
+
+namespace vans::nvram
+{
+
+/** Complete parameter set for one simulated NVRAM memory system. */
+struct NvramConfig
+{
+    // ---- Topology -------------------------------------------------
+    unsigned numDimms = 1;
+    bool interleaved = false;
+    std::uint64_t interleaveBytes = 4096; ///< Paper section III-D.
+    std::uint64_t dimmCapacity = 4ull << 30;
+
+    // ---- iMC ------------------------------------------------------
+    unsigned wpqEntries = 8;   ///< 8 x 64B = the 512B WPQ.
+    unsigned rpqEntries = 32;
+    /** Core + mesh + iMC pipeline, one way (ns). */
+    double coreToImcNs = 50;
+
+    // ---- DDR-T bus ------------------------------------------------
+    double busCmdNs = 4;          ///< Command/handshake per transfer.
+    double busDataPer64bNs = 3;   ///< 64B data beat at 2666 MT/s.
+    double busTurnaroundNs = 55;  ///< Read<->write redirection cost.
+    /** Request/grant handshake per WPQ write drained to the DIMM --
+     *  the DDR-T write-channel pacing that sets the post-WPQ store
+     *  plateau of Fig 5a. */
+    double wpqGrantNs = 30;
+
+    // ---- On-DIMM LSQ ---------------------------------------------
+    unsigned lsqEntries = 64;     ///< 64 x 64B = 4KB.
+    double lsqProbeNs = 6;
+    /** Combining window: entries younger than this are held back to
+     *  merge 64B writes into 256B media-friendly writes. */
+    double lsqEpochNs = 600;
+
+    // ---- RMW buffer ------------------------------------------------
+    unsigned rmwEntries = 64;     ///< 64 x 256B = 16KB SRAM.
+    std::uint32_t rmwLineBytes = 256;
+    double rmwAccessNs = 30;
+
+    // ---- AIT -------------------------------------------------------
+    unsigned aitBufEntries = 4096; ///< 4096 x 4KB = 16MB.
+    std::uint32_t aitLineBytes = 4096;
+    double aitTagNs = 5;
+    dram::DramTiming dramTiming = dram::DramTiming::ddr4OnDimm();
+
+    // ---- 3D-XPoint media -------------------------------------------
+    std::uint32_t mediaChunkBytes = 256;
+    unsigned mediaPartitions = 6;
+    double mediaReadNs = 150;
+    double mediaWriteNs = 500;
+
+    // ---- Wear leveling ---------------------------------------------
+    std::uint64_t wearBlockBytes = 64 << 10;
+    std::uint64_t wearThreshold = 14000;
+    double migrationUs = 50;
+
+    // ---- Returns / completion --------------------------------------
+    double dimmCtrlNs = 18;  ///< DIMM controller FSM per request.
+
+    /** Table V defaults (what the validated runs use). */
+    static NvramConfig optaneDefault();
+
+    /** Apply overrides from a parsed Config ([nvram] section). */
+    static NvramConfig fromConfig(const Config &cfg);
+};
+
+} // namespace vans::nvram
+
+#endif // VANS_NVRAM_NVRAM_CONFIG_HH

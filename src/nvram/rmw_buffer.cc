@@ -1,0 +1,281 @@
+#include "nvram/rmw_buffer.hh"
+
+#include "common/logging.hh"
+
+namespace vans::nvram
+{
+
+RmwBuffer::RmwBuffer(EventQueue &eq, const NvramConfig &config,
+                     Ait &ait_ref, const std::string &name)
+    : eventq(eq), cfg(config), ait(ait_ref), statGroup(name)
+{
+    ait.onWriteSpaceFreed = [this] { drainIssue(); };
+}
+
+RmwBuffer::Entry *
+RmwBuffer::find(Addr line)
+{
+    auto it = entries.find(line);
+    return it == entries.end() ? nullptr : &it->second;
+}
+
+void
+RmwBuffer::markClean(Entry &e)
+{
+    e.state = State::Clean;
+    ++cleanCount;
+    if (!e.inCleanLru) {
+        cleanLru.push_front(e.line);
+        e.inCleanLru = true;
+    }
+}
+
+bool
+RmwBuffer::makeRoom()
+{
+    if (entries.size() < cfg.rmwEntries)
+        return true;
+    // Evict the least recently used clean entry; lines that were
+    // re-dirtied since joining the list are skipped lazily.
+    while (!cleanLru.empty()) {
+        Addr victim = cleanLru.back();
+        cleanLru.pop_back();
+        auto it = entries.find(victim);
+        if (it != entries.end() &&
+            it->second.state == State::Clean) {
+            --cleanCount;
+            entries.erase(it);
+            statGroup.scalar("evictions").inc();
+            return true;
+        }
+        if (it != entries.end())
+            it->second.inCleanLru = false;
+    }
+    return false;
+}
+
+void
+RmwBuffer::read(Addr addr, DoneCallback done)
+{
+    // State changes are synchronous; the SRAM access time lands on
+    // the callback. This keeps admission checks race-free.
+    Addr line = lineOf(addr);
+    Tick access = nsToTicks(cfg.rmwAccessNs);
+
+    Entry *e = find(line);
+    if (e) {
+        statGroup.scalar("read_hits").inc();
+        if (e->state == State::Filling) {
+            // Fill already in flight: piggyback on it.
+            e->mergeWaiters.push_back(std::move(done));
+            return;
+        }
+        eventq.scheduleAfter(access,
+                             [done = std::move(done), this] {
+                                 if (done)
+                                     done(eventq.curTick());
+                             });
+        return;
+    }
+
+    statGroup.scalar("read_misses").inc();
+    if (!makeRoom()) {
+        // All entries hold staged writes: serve the read from the
+        // AIT without caching rather than stalling it.
+        statGroup.scalar("read_bypass").inc();
+        eventq.scheduleAfter(access, [this, line,
+                                      done = std::move(done)]() mutable {
+            ait.read(line, std::move(done));
+        });
+        return;
+    }
+    Entry &ne = entries[line];
+    ne.line = line;
+    ne.state = State::Filling;
+    ne.mergeWaiters.push_back(std::move(done));
+    eventq.scheduleAfter(access, [this, line] {
+        ait.read(line, [this, line](Tick t) {
+            Entry *e2 = find(line);
+            if (!e2)
+                return;
+            auto waiters = std::move(e2->mergeWaiters);
+            e2->mergeWaiters.clear();
+            if (e2->dirtyBytes > 0) {
+                // A write merged while the fill was in flight.
+                e2->state = State::Dirty;
+                enqueueIssue(line);
+            } else {
+                markClean(*e2);
+            }
+            for (auto &w : waiters) {
+                if (w)
+                    w(t);
+            }
+        });
+    });
+}
+
+bool
+RmwBuffer::canAcceptWrite(Addr addr) const
+{
+    Addr line = alignDown(addr, cfg.rmwLineBytes);
+    auto it = entries.find(line);
+    if (it != entries.end()) {
+        // Merging is only possible while the fill is still open or
+        // the line is clean; a line with a staged write in flight
+        // makes the writer wait -- the RMW buffer stages, it does
+        // not coalesce indefinitely (this is why write working sets
+        // larger than the LSQ pay full cost, Fig 5a).
+        return it->second.state == State::Filling ||
+               it->second.state == State::Clean;
+    }
+    if (writeFillsInFlight > 0)
+        return false; // FIFO staging: wait for the open fill.
+    if (entries.size() < cfg.rmwEntries)
+        return true;
+    return cleanCount > 0; // A clean victim can make room.
+}
+
+void
+RmwBuffer::acceptWrite(Addr addr, std::uint32_t bytes,
+                       DoneCallback done)
+{
+    Addr line = lineOf(addr);
+    Tick access = nsToTicks(cfg.rmwAccessNs);
+    statGroup.scalar("writes").inc();
+
+    auto finish = [this, access, done = std::move(done)]() mutable {
+        eventq.scheduleAfter(access, [this,
+                                      done = std::move(done)]() mutable {
+            if (done)
+                done(eventq.curTick());
+        });
+    };
+
+    Entry *e = find(line);
+    if (e) {
+        statGroup.scalar("write_merges").inc();
+        e->dirtyBytes += bytes;
+        switch (e->state) {
+          case State::Clean:
+            e->state = State::Dirty;
+            --cleanCount;
+            enqueueIssue(line);
+            break;
+          case State::Filling:
+            break; // Combines into the open fill.
+          case State::Dirty:
+          case State::IssuedWait:
+            panic("RMW write to a staged line (check canAccept)");
+        }
+        finish();
+        return;
+    }
+
+    if (!makeRoom())
+        panic("RMW acceptWrite without room (check canAccept)");
+
+    Entry &ne = entries[line];
+    ne.line = line;
+    ne.dirtyBytes = bytes;
+    ne.writeStaging = true;
+    if (bytes >= cfg.rmwLineBytes) {
+        // Full-line write: no fill needed (this is what LSQ write
+        // combining buys).
+        ne.state = State::Dirty;
+        enqueueIssue(line);
+    } else {
+        // Sub-256B write: the eponymous read-modify-write.
+        statGroup.scalar("rmw_fills").inc();
+        ne.state = State::Filling;
+        ++writeFillsInFlight;
+        eventq.scheduleAfter(access, [this, line] {
+            ait.readForFill(line, [this, line](Tick) {
+                --writeFillsInFlight;
+                Entry *e2 = find(line);
+                if (e2 && e2->state == State::Filling) {
+                    auto waiters = std::move(e2->mergeWaiters);
+                    e2->mergeWaiters.clear();
+                    e2->state = State::Dirty;
+                    enqueueIssue(line);
+                    for (auto &w : waiters) {
+                        if (w)
+                            w(eventq.curTick());
+                    }
+                }
+                if (onSpaceFreed)
+                    onSpaceFreed();
+            });
+        });
+    }
+    finish();
+}
+
+void
+RmwBuffer::enqueueIssue(Addr line)
+{
+    issueFifo.push_back(line);
+    drainIssue();
+}
+
+void
+RmwBuffer::drainIssue()
+{
+    if (issueBusy)
+        return;
+    while (!issueFifo.empty()) {
+        Addr line = issueFifo.front();
+        Entry *e = find(line);
+        if (!e || e->state != State::Dirty) {
+            issueFifo.pop_front();
+            continue;
+        }
+        if (!ait.canAcceptWrite())
+            return; // ait.onWriteSpaceFreed re-enters drainIssue().
+        issueFifo.pop_front();
+        e->state = State::IssuedWait;
+        issueBusy = true;
+        ait.acceptWrite(line, [this, line](Tick t) {
+            issueBusy = false;
+            Entry *e2 = find(line);
+            if (e2)
+                finishWrite(*e2, t);
+            if (onSpaceFreed)
+                onSpaceFreed();
+            drainIssue();
+        });
+    }
+}
+
+void
+RmwBuffer::finishWrite(Entry &e, Tick)
+{
+    e.dirtyBytes = 0;
+    if (e.writeStaging) {
+        // Pure staging entry: free the slot once the AIT has the
+        // data. Retaining it would let the RMW buffer coalesce
+        // write working sets up to its full 16KB, which the
+        // measured store curve (inflection at the 4KB LSQ, Fig 5a)
+        // shows the real device does not do.
+        entries.erase(e.line);
+        return;
+    }
+    markClean(e);
+}
+
+bool
+RmwBuffer::writeQuiescent() const
+{
+    if (!issueFifo.empty() || issueBusy)
+        return false;
+    for (const auto &kv : entries) {
+        const Entry &e = kv.second;
+        if (e.state == State::Dirty || e.state == State::IssuedWait ||
+            (e.state == State::Filling && e.dirtyBytes > 0)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace vans::nvram

@@ -1,0 +1,77 @@
+#include "nvram/vans_system.hh"
+
+#include "common/logging.hh"
+
+namespace vans::nvram
+{
+
+VansSystem::VansSystem(EventQueue &eq, const NvramConfig &config,
+                       std::string name)
+    : MemorySystem(eq),
+      cfg(config),
+      sysName(std::move(name)),
+      imcModel(eq, config, sysName + ".imc")
+{}
+
+void
+VansSystem::issue(RequestPtr req)
+{
+    req->id = nextRequestId();
+    req->issueTick = eventq.curTick();
+    switch (req->op) {
+      case MemOp::Read:
+      case MemOp::ReadNT:
+        imcModel.issueRead(req);
+        break;
+      case MemOp::Write:
+      case MemOp::WriteNT:
+      case MemOp::Clwb:
+        imcModel.issueWrite(req);
+        break;
+      case MemOp::Fence:
+        imcModel.issueFence(req);
+        break;
+    }
+}
+
+std::uint64_t
+VansSystem::totalRmwFills()
+{
+    std::uint64_t n = 0;
+    for (unsigned i = 0; i < imcModel.numDimms(); ++i)
+        n += imcModel.dimm(i).rmw().stats().scalarValue("rmw_fills");
+    return n;
+}
+
+std::uint64_t
+VansSystem::totalMigrations()
+{
+    std::uint64_t n = 0;
+    for (unsigned i = 0; i < imcModel.numDimms(); ++i)
+        n += imcModel.dimm(i).ait().wearLeveler().migrations();
+    return n;
+}
+
+std::uint64_t
+VansSystem::totalMediaWrites()
+{
+    std::uint64_t n = 0;
+    for (unsigned i = 0; i < imcModel.numDimms(); ++i) {
+        n += imcModel.dimm(i).ait().mediaDev().stats().scalarValue(
+            "chunk_writes");
+    }
+    return n;
+}
+
+std::uint64_t
+VansSystem::totalMediaReads()
+{
+    std::uint64_t n = 0;
+    for (unsigned i = 0; i < imcModel.numDimms(); ++i) {
+        n += imcModel.dimm(i).ait().mediaDev().stats().scalarValue(
+            "chunk_reads");
+    }
+    return n;
+}
+
+} // namespace vans::nvram

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * VANS: the complete validated NVRAM memory system, as a
+ * MemorySystem facade over the iMC + DIMM pipeline.
+ *
+ * This is the public entry point of the simulator: construct it from
+ * an NvramConfig (or a parsed Config file), issue requests, read
+ * statistics. LENS, the CPU model, the bench harnesses and the
+ * examples all drive it through this interface.
+ */
+
+#ifndef VANS_NVRAM_VANS_SYSTEM_HH
+#define VANS_NVRAM_VANS_SYSTEM_HH
+
+#include <memory>
+#include <string>
+
+#include "common/mem_system.hh"
+#include "nvram/imc.hh"
+#include "nvram/nvram_config.hh"
+
+namespace vans::nvram
+{
+
+/** The Optane-DIMM-style memory system modeled by this repo. */
+class VansSystem : public MemorySystem
+{
+  public:
+    VansSystem(EventQueue &eq, const NvramConfig &cfg,
+               std::string name = "vans");
+
+    void issue(RequestPtr req) override;
+    std::string name() const override { return sysName; }
+    std::uint64_t capacity() const override
+    {
+        return static_cast<std::uint64_t>(cfg.numDimms) *
+               cfg.dimmCapacity;
+    }
+
+    const NvramConfig &config() const { return cfg; }
+    Imc &imc() { return imcModel; }
+    NvramDimm &dimm(unsigned i = 0) { return imcModel.dimm(i); }
+
+    /** Sum of RMW fills over all DIMMs (write amplification probe). */
+    std::uint64_t totalRmwFills();
+
+    /** Sum of wear-leveling migrations over all DIMMs. */
+    std::uint64_t totalMigrations();
+
+    /** Sum of media chunk writes over all DIMMs. */
+    std::uint64_t totalMediaWrites();
+
+    /** Sum of media chunk reads over all DIMMs. */
+    std::uint64_t totalMediaReads();
+
+  private:
+    NvramConfig cfg;
+    std::string sysName;
+    Imc imcModel;
+};
+
+} // namespace vans::nvram
+
+#endif // VANS_NVRAM_VANS_SYSTEM_HH

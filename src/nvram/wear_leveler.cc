@@ -1,0 +1,48 @@
+#include "nvram/wear_leveler.hh"
+
+namespace vans::nvram
+{
+
+WearLeveler::WearLeveler(EventQueue &eq, const NvramConfig &config)
+    : eventq(eq), cfg(config), statGroup("wear")
+{}
+
+void
+WearLeveler::onMediaWrite(Addr addr)
+{
+    Addr block = blockOf(addr);
+    std::uint64_t &count = wearCount[block];
+    ++count;
+    statGroup.scalar("media_writes").inc();
+
+    if (count < cfg.wearThreshold || migrating.count(block))
+        return;
+
+    // Start an asynchronous migration of this block. The counter
+    // resets -- the data now lives in fresh media with fresh wear.
+    std::uint64_t wear = count;
+    count = 0;
+    Tick end = eventq.curTick() +
+               nsToTicks(cfg.migrationUs * 1000.0);
+    migrating[block] = end;
+    statGroup.scalar("migrations").inc();
+    eventq.schedule(end, [this, block] { migrating.erase(block); });
+    if (onMigration)
+        onMigration(block * cfg.wearBlockBytes, wear);
+}
+
+Tick
+WearLeveler::blockedUntil(Addr addr) const
+{
+    auto it = migrating.find(blockOf(addr));
+    return it == migrating.end() ? 0 : it->second;
+}
+
+std::uint64_t
+WearLeveler::blockWear(Addr addr) const
+{
+    auto it = wearCount.find(blockOf(addr));
+    return it == wearCount.end() ? 0 : it->second;
+}
+
+} // namespace vans::nvram

@@ -1,0 +1,115 @@
+#include "trace/trace.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace vans::trace
+{
+
+char
+instTypeChar(InstType t)
+{
+    switch (t) {
+      case InstType::NonMem:
+        return 'N';
+      case InstType::Load:
+        return 'L';
+      case InstType::Store:
+        return 'S';
+      case InstType::StoreNT:
+        return 'T';
+      case InstType::Clwb:
+        return 'C';
+      case InstType::Fence:
+        return 'F';
+      case InstType::Mkpt:
+        return 'M';
+    }
+    return '?';
+}
+
+namespace
+{
+
+InstType
+typeFromChar(char c)
+{
+    switch (c) {
+      case 'N':
+        return InstType::NonMem;
+      case 'L':
+        return InstType::Load;
+      case 'S':
+        return InstType::Store;
+      case 'T':
+        return InstType::StoreNT;
+      case 'C':
+        return InstType::Clwb;
+      case 'F':
+        return InstType::Fence;
+      case 'M':
+        return InstType::Mkpt;
+      default:
+        fatal("bad trace mnemonic '%c'", c);
+    }
+}
+
+} // namespace
+
+void
+writeTraceFile(const std::string &path,
+               const std::vector<TraceInst> &insts)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write trace file '%s'", path.c_str());
+    for (const auto &i : insts) {
+        out << instTypeChar(i.type);
+        if (i.type == InstType::NonMem) {
+            out << ' ' << i.count;
+        } else {
+            out << ' ' << std::hex << "0x" << i.addr << std::dec;
+            if (i.dependsOnPrev)
+                out << " d";
+        }
+        out << '\n';
+    }
+}
+
+std::vector<TraceInst>
+readTraceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot read trace file '%s'", path.c_str());
+    std::vector<TraceInst> out;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ss(line);
+        char c;
+        ss >> c;
+        TraceInst inst;
+        inst.type = typeFromChar(c);
+        if (inst.type == InstType::NonMem) {
+            ss >> inst.count;
+        } else if (inst.type != InstType::Fence) {
+            std::string a;
+            ss >> a;
+            inst.addr = std::strtoull(a.c_str(), nullptr, 0);
+            std::string flag;
+            if (ss >> flag && flag == "d")
+                inst.dependsOnPrev = true;
+        }
+        out.push_back(inst);
+    }
+    return out;
+}
+
+} // namespace vans::trace

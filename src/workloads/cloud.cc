@@ -1,0 +1,257 @@
+#include "workloads/cloud.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "workloads/zipfian.hh"
+
+namespace vans::workloads
+{
+
+namespace
+{
+
+/** Emit a bundle of non-memory work. */
+void
+nonMem(std::vector<trace::TraceInst> &out, std::uint32_t count)
+{
+    trace::TraceInst i;
+    i.type = trace::InstType::NonMem;
+    i.count = count;
+    out.push_back(i);
+}
+
+/** Emit a (possibly hinted) dependent pointer load. */
+void
+chaseLoad(std::vector<trace::TraceInst> &out, Addr addr, bool hint,
+          bool depends = true)
+{
+    if (hint) {
+        trace::TraceInst m;
+        m.type = trace::InstType::Mkpt;
+        m.addr = addr;
+        out.push_back(m);
+    }
+    trace::TraceInst l;
+    l.type = trace::InstType::Load;
+    l.addr = addr;
+    l.dependsOnPrev = depends;
+    out.push_back(l);
+}
+
+/** Emit a persisted store: store + clwb + fence. */
+void
+persistStore(std::vector<trace::TraceInst> &out, Addr addr,
+             bool fence = true)
+{
+    trace::TraceInst s;
+    s.type = trace::InstType::Store;
+    s.addr = addr;
+    out.push_back(s);
+    trace::TraceInst c;
+    c.type = trace::InstType::Clwb;
+    c.addr = addr;
+    out.push_back(c);
+    if (fence) {
+        trace::TraceInst f;
+        f.type = trace::InstType::Fence;
+        out.push_back(f);
+    }
+}
+
+} // namespace
+
+std::vector<trace::TraceInst>
+redisTrace(const CloudParams &p)
+{
+    Rng rng(p.seed ^ 0x5ed15ull);
+    std::uint64_t lines = p.footprintBytes / cacheLineSize;
+    std::vector<trace::TraceInst> out;
+    out.reserve(p.operations * 12);
+
+    for (std::uint64_t op = 0; op < p.operations; ++op) {
+        // Command parse + dispatch.
+        nonMem(out, 60);
+        // Hash bucket -> entry -> value: a 3-deep chase across
+        // random pages (dict is sparse), the Fig 12a pattern.
+        Addr bucket = p.base + rng.below(lines) * cacheLineSize;
+        chaseLoad(out, bucket, p.preTranslationHints, false);
+        Addr entry = p.base + rng.below(lines) * cacheLineSize;
+        chaseLoad(out, entry, p.preTranslationHints);
+        Addr value = p.base + rng.below(lines) * cacheLineSize;
+        chaseLoad(out, value, p.preTranslationHints);
+        nonMem(out, 30);
+        // ~10% SET: persist the value and append to the AOF-style
+        // log.
+        if (rng.uniform() < 0.10) {
+            persistStore(out, value, false);
+            Addr log = p.base + (op % 4096) * cacheLineSize;
+            persistStore(out, log);
+        }
+    }
+    return out;
+}
+
+std::vector<trace::TraceInst>
+ycsbTrace(const CloudParams &p)
+{
+    Rng rng(p.seed ^ 0x5c5b11ull);
+    std::uint64_t keys = p.footprintBytes / 256;
+    Zipfian zipf(keys, p.zipfTheta);
+    std::vector<trace::TraceInst> out;
+    out.reserve(p.operations * 10);
+
+    for (std::uint64_t op = 0; op < p.operations; ++op) {
+        nonMem(out, 40);
+        std::uint64_t key = zipf.next(rng);
+        Addr value = p.base + key * 256;
+        // Index lookup: one chase into the key's page.
+        chaseLoad(out, value, p.preTranslationHints, false);
+        if (rng.uniform() < 0.5) {
+            // Read: fetch the 256B value.
+            for (unsigned l = 1; l < 4; ++l) {
+                trace::TraceInst ld;
+                ld.type = trace::InstType::Load;
+                ld.addr = value + l * cacheLineSize;
+                out.push_back(ld);
+            }
+        } else {
+            // Update: persist the value line -- zipfian keys
+            // concentrate these on a handful of hot cache lines
+            // (the Fig 12b Top10 effect).
+            persistStore(out, value);
+        }
+    }
+    return out;
+}
+
+std::vector<trace::TraceInst>
+tpccTrace(const CloudParams &p)
+{
+    Rng rng(p.seed ^ 0x79ccull);
+    std::uint64_t lines = p.footprintBytes / cacheLineSize;
+    Zipfian warehouse(64, 0.8);
+    std::vector<trace::TraceInst> out;
+    out.reserve(p.operations * 20);
+    Addr log_head = p.base;
+
+    for (std::uint64_t op = 0; op < p.operations; ++op) {
+        // New-order style transaction.
+        nonMem(out, 120);
+        // Read customer + district rows.
+        for (int r = 0; r < 4; ++r) {
+            Addr row = p.base + rng.below(lines) * cacheLineSize;
+            chaseLoad(out, row, p.preTranslationHints, r > 0);
+        }
+        // Hot district row update (warehouse-skewed).
+        Addr district = p.base + warehouse.next(rng) * 4096;
+        persistStore(out, district, false);
+        // Redo-log append: sequential persisted writes.
+        for (int l = 0; l < 3; ++l) {
+            persistStore(out, log_head, l == 2);
+            log_head += cacheLineSize;
+            if (log_head >= p.base + (16ull << 20))
+                log_head = p.base;
+        }
+    }
+    return out;
+}
+
+std::vector<trace::TraceInst>
+fioWriteTrace(const CloudParams &p)
+{
+    std::vector<trace::TraceInst> out;
+    out.reserve(p.operations * 6);
+    Addr cursor = p.base;
+    for (std::uint64_t op = 0; op < p.operations; ++op) {
+        nonMem(out, 10);
+        // One 256B block per op, NT-store + fence every 4KB.
+        for (unsigned l = 0; l < 4; ++l) {
+            trace::TraceInst s;
+            s.type = trace::InstType::StoreNT;
+            s.addr = cursor;
+            out.push_back(s);
+            cursor += cacheLineSize;
+        }
+        if (cursor % 4096 == 0) {
+            trace::TraceInst f;
+            f.type = trace::InstType::Fence;
+            out.push_back(f);
+        }
+        if (cursor >= p.base + p.footprintBytes)
+            cursor = p.base;
+    }
+    return out;
+}
+
+std::vector<trace::TraceInst>
+hashMapTrace(const CloudParams &p)
+{
+    Rng rng(p.seed ^ 0x4a54ull);
+    std::uint64_t buckets = p.footprintBytes / 512;
+    std::vector<trace::TraceInst> out;
+    out.reserve(p.operations * 12);
+
+    for (std::uint64_t op = 0; op < p.operations; ++op) {
+        nonMem(out, 50);
+        Addr bucket = p.base + rng.below(buckets) * 512;
+        // Bucket head + chain walk (1-2 nodes).
+        chaseLoad(out, bucket, p.preTranslationHints, false);
+        Addr node = p.base + rng.below(buckets) * 512 + 64;
+        chaseLoad(out, node, p.preTranslationHints);
+        if (rng.uniform() < 0.5) {
+            // Insert: write node + bucket pointer, persist both.
+            persistStore(out, node, false);
+            persistStore(out, bucket);
+        }
+    }
+    return out;
+}
+
+std::vector<trace::TraceInst>
+linkedListTrace(const CloudParams &p)
+{
+    Rng rng(p.seed ^ 0x115717ull);
+    // A real list: a fixed set of nodes, each on its own page (the
+    // TLB-hostile layout the Pre-translation case study targets),
+    // traversed in link order over and over. Repeat traversals are
+    // what let the on-DIMM Pre-translation table learn the chain.
+    std::uint64_t nodes =
+        std::min<std::uint64_t>(p.footprintBytes / 4096, 2048);
+    std::vector<Addr> chain;
+    chain.reserve(nodes);
+    for (std::uint64_t i = 0; i < nodes; ++i)
+        chain.push_back(p.base + i * 4096);
+    rng.shuffle(chain);
+
+    std::vector<trace::TraceInst> out;
+    out.reserve(p.operations * 6);
+    for (std::uint64_t op = 0; op < p.operations; ++op) {
+        nonMem(out, 8);
+        Addr node = chain[op % chain.size()];
+        chaseLoad(out, node, p.preTranslationHints);
+        if (rng.uniform() < 0.05) {
+            persistStore(out, node + cacheLineSize);
+        }
+    }
+    return out;
+}
+
+std::vector<trace::TraceInst>
+cloudTrace(const std::string &name, const CloudParams &p)
+{
+    if (name == "redis")
+        return redisTrace(p);
+    if (name == "ycsb")
+        return ycsbTrace(p);
+    if (name == "tpcc")
+        return tpccTrace(p);
+    if (name == "fio-write")
+        return fioWriteTrace(p);
+    if (name == "hashmap")
+        return hashMapTrace(p);
+    if (name == "linkedlist")
+        return linkedListTrace(p);
+    fatal("unknown cloud workload '%s'", name.c_str());
+}
+
+} // namespace vans::workloads

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Behavioural models of the paper's cloud and persistent-memory
+ * workloads (sections V-A and V-D): Redis- and YCSB-style key-value
+ * serving, TPCC-style transactions, fio-style sequential writing,
+ * and the two PMDK microbenchmarks (HashMap, LinkedList).
+ *
+ * Each generator emits an instruction trace with the *access
+ * pattern* the paper attributes the effects to: pointer chasing
+ * across random pages for the read-heavy workloads (the Fig 12a
+ * read-miss overhead), and persisted writes concentrated on hot
+ * keys for the write-heavy ones (the Fig 12b wear-leveling
+ * amplification). A flag adds mkpt hints before chasing loads so
+ * the same workload can run with Pre-translation (Fig 13).
+ */
+
+#ifndef VANS_WORKLOADS_CLOUD_HH
+#define VANS_WORKLOADS_CLOUD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace vans::workloads
+{
+
+/** Common knobs for the cloud workload generators. */
+struct CloudParams
+{
+    std::uint64_t operations = 20000;
+    std::uint64_t footprintBytes = 1ull << 30;
+    Addr base = 0;
+    std::uint64_t seed = 7;
+    bool preTranslationHints = false; ///< Emit mkpt before chases.
+    double zipfTheta = 0.99;
+};
+
+/** Redis-style GET-dominated serving: deep hash+list chases. */
+std::vector<trace::TraceInst> redisTrace(const CloudParams &p);
+
+/** YCSB-style 50/50 zipfian read/update with persisted values. */
+std::vector<trace::TraceInst> ycsbTrace(const CloudParams &p);
+
+/** TPCC-style transactions: reads + log append + row updates. */
+std::vector<trace::TraceInst> tpccTrace(const CloudParams &p);
+
+/** fio-style sequential persisted writer. */
+std::vector<trace::TraceInst> fioWriteTrace(const CloudParams &p);
+
+/** PMDK HashMap microbenchmark: insert/get with persists. */
+std::vector<trace::TraceInst> hashMapTrace(const CloudParams &p);
+
+/** PMDK LinkedList microbenchmark: pure pointer traversal. */
+std::vector<trace::TraceInst> linkedListTrace(const CloudParams &p);
+
+/** Dispatch by name: fio-write|ycsb|tpcc|hashmap|redis|linkedlist. */
+std::vector<trace::TraceInst> cloudTrace(const std::string &name,
+                                         const CloudParams &p);
+
+} // namespace vans::workloads
+
+#endif // VANS_WORKLOADS_CLOUD_HH

@@ -1,0 +1,106 @@
+#include "workloads/spec_synth.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace vans::workloads
+{
+
+const std::vector<SpecWorkload> &
+specTable4()
+{
+    // LLC MPKI and footprints from paper Table IV.
+    static const std::vector<SpecWorkload> table = {
+        {"gcc", "2006", 2.9, 1200ull << 20, 0.30, 0.10},
+        {"mcf", "2006", 27.1, 9100ull << 20, 0.20, 0.35},
+        {"sjeng", "2006", 2.7, 630ull << 20, 0.25, 0.10},
+        {"libquantum", "2006", 3.4, 2300ull << 20, 0.15, 0.05},
+        {"omnetpp", "2006", 2.1, 1400ull << 20, 0.30, 0.30},
+        {"cactusADM", "2006", 2.0, 2200ull << 20, 0.35, 0.05},
+        {"lbm", "2006", 7.7, 2900ull << 20, 0.45, 0.02},
+        {"wrf", "2006", 2.4, 1000ull << 20, 0.30, 0.05},
+        {"gcc", "2017", 21.5, 1100ull << 20, 0.30, 0.15},
+        {"mcf", "2017", 26.3, 8700ull << 20, 0.20, 0.35},
+        {"omnetpp", "2017", 2.1, 960ull << 20, 0.30, 0.30},
+        {"deepsjeng", "2017", 2.5, 580ull << 20, 0.25, 0.10},
+        {"xz", "2017", 2.7, 1800ull << 20, 0.30, 0.08},
+    };
+    return table;
+}
+
+const SpecWorkload &
+specWorkload(const std::string &name, const std::string &suite)
+{
+    for (const auto &w : specTable4()) {
+        if (w.name == name && w.suite == suite)
+            return w;
+    }
+    fatal("unknown SPEC workload %s (%s)", name.c_str(),
+          suite.c_str());
+}
+
+std::vector<trace::TraceInst>
+generateSpecTrace(const SpecWorkload &w, std::uint64_t instructions,
+                  std::uint64_t llc_bytes, std::uint64_t seed,
+                  Addr base)
+{
+    Rng rng(seed ^ 0xabcd1234u);
+
+    // A random access over `footprint` misses a `llc_bytes` LLC with
+    // probability ~ (1 - llc/footprint) in steady state. Choose the
+    // memory-op rate so the measured MPKI hits the target.
+    double miss_ratio =
+        1.0 - std::min(1.0, static_cast<double>(llc_bytes) /
+                                static_cast<double>(
+                                    w.footprintBytes));
+    miss_ratio = std::max(miss_ratio, 0.05);
+    // Page walks add their own LLC misses: with footprints far past
+    // the STLB reach, nearly every memory op walks and its PTE
+    // access often misses too. Fold that into the op budget.
+    double stlb_reach = 1536.0 * 4096.0;
+    double walk_prob = std::max(
+        0.0, 1.0 - stlb_reach / static_cast<double>(
+                                    w.footprintBytes));
+    double misses_per_op = miss_ratio * (1.0 + walk_prob);
+    double mem_per_kilo = std::min(w.llcMpki / misses_per_op, 500.0);
+    // Non-mem instructions between memory ops.
+    double gap = std::max(1000.0 / mem_per_kilo - 1.0, 0.0);
+
+    std::uint64_t lines =
+        std::max<std::uint64_t>(w.footprintBytes / cacheLineSize, 1);
+
+    std::vector<trace::TraceInst> out;
+    out.reserve(static_cast<std::size_t>(
+        static_cast<double>(instructions) / (gap + 1.0) * 2.2 + 16));
+
+    std::uint64_t emitted = 0;
+    double gap_accum = 0;
+    while (emitted < instructions) {
+        gap_accum += gap;
+        if (gap_accum >= 1.0) {
+            trace::TraceInst nm;
+            nm.type = trace::InstType::NonMem;
+            nm.count = static_cast<std::uint32_t>(gap_accum);
+            gap_accum -= nm.count;
+            out.push_back(nm);
+            emitted += nm.count;
+        }
+        trace::TraceInst mi;
+        Addr addr = base + rng.below(lines) * cacheLineSize;
+        mi.addr = addr;
+        double r = rng.uniform();
+        if (r < w.writeFraction) {
+            mi.type = trace::InstType::Store;
+        } else {
+            mi.type = trace::InstType::Load;
+            mi.dependsOnPrev = rng.uniform() < w.chaseFraction;
+        }
+        out.push_back(mi);
+        emitted += 1;
+    }
+    return out;
+}
+
+} // namespace vans::workloads

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Synthetic SPEC-CPU-like trace generator, parameterized by the
+ * published per-workload LLC MPKI and memory footprint (paper
+ * Table IV). Substitutes for the real SPEC 2006/2017 binaries, which
+ * are licensed and unavailable here: the memory-system response the
+ * paper validates on (Figs 11a-d) is driven by miss rate, footprint,
+ * and read/write mix -- exactly the knobs this generator takes.
+ */
+
+#ifndef VANS_WORKLOADS_SPEC_SYNTH_HH
+#define VANS_WORKLOADS_SPEC_SYNTH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace vans::workloads
+{
+
+/** One Table IV row. */
+struct SpecWorkload
+{
+    std::string name;
+    std::string suite;      ///< "2006" or "2017".
+    double llcMpki;         ///< Target LLC misses per kilo-inst.
+    std::uint64_t footprintBytes;
+    double writeFraction = 0.25; ///< Stores among memory ops.
+    double chaseFraction = 0.15; ///< Dependent (pointer) loads.
+};
+
+/** The thirteen memory-intensive workloads of Table IV. */
+const std::vector<SpecWorkload> &specTable4();
+
+/** Look up one Table IV workload by name+suite ("mcf", "2006"). */
+const SpecWorkload &specWorkload(const std::string &name,
+                                 const std::string &suite);
+
+/**
+ * Generate a trace of ~@p instructions whose LLC MPKI on a
+ * @p llc_bytes last-level cache approximates the workload's target.
+ * Deterministic for a given seed.
+ */
+std::vector<trace::TraceInst>
+generateSpecTrace(const SpecWorkload &w, std::uint64_t instructions,
+                  std::uint64_t llc_bytes = 32ull << 20,
+                  std::uint64_t seed = 1, Addr base = 0);
+
+} // namespace vans::workloads
+
+#endif // VANS_WORKLOADS_SPEC_SYNTH_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Zipfian key-popularity generator (Gray et al.'s rejection-free
+ * construction, the same scheme YCSB uses), used by the cloud
+ * workload models to concentrate writes on hot keys -- the effect
+ * behind the paper's Fig 12b "Top10 cache lines" analysis.
+ */
+
+#ifndef VANS_WORKLOADS_ZIPFIAN_HH
+#define VANS_WORKLOADS_ZIPFIAN_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/rng.hh"
+
+namespace vans::workloads
+{
+
+/** Zipf-distributed integers in [0, n). Rank 0 is hottest. */
+class Zipfian
+{
+  public:
+    Zipfian(std::uint64_t n, double theta = 0.99)
+        : items(n), theta(theta)
+    {
+        zetan = zeta(n, theta);
+        zeta2 = zeta(2, theta);
+        alpha = 1.0 / (1.0 - theta);
+        eta = (1.0 - std::pow(2.0 / static_cast<double>(n),
+                              1.0 - theta)) /
+              (1.0 - zeta2 / zetan);
+    }
+
+    /** Draw the next rank using @p rng. */
+    std::uint64_t
+    next(Rng &rng)
+    {
+        double u = rng.uniform();
+        double uz = u * zetan;
+        if (uz < 1.0)
+            return 0;
+        if (uz < 1.0 + std::pow(0.5, theta))
+            return 1;
+        return static_cast<std::uint64_t>(
+            static_cast<double>(items) *
+            std::pow(eta * u - eta + 1.0, alpha));
+    }
+
+  private:
+    static double
+    zeta(std::uint64_t n, double theta)
+    {
+        double sum = 0;
+        // Exact for small n; the standard approximation beyond.
+        std::uint64_t exact = std::min<std::uint64_t>(n, 10000);
+        for (std::uint64_t i = 1; i <= exact; ++i)
+            sum += 1.0 / std::pow(static_cast<double>(i), theta);
+        if (n > exact) {
+            // Integral approximation of the tail.
+            double a = static_cast<double>(exact);
+            double b = static_cast<double>(n);
+            sum += (std::pow(b, 1 - theta) - std::pow(a, 1 - theta)) /
+                   (1 - theta);
+        }
+        return sum;
+    }
+
+    std::uint64_t items;
+    double theta;
+    double zetan;
+    double zeta2;
+    double alpha;
+    double eta;
+};
+
+} // namespace vans::workloads
+
+#endif // VANS_WORKLOADS_ZIPFIAN_HH

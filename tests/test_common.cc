@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Unit tests for the common substrate: event queue, config, curves,
+ * stats, RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/ascii_chart.hh"
+#include "common/config.hh"
+#include "common/curve.hh"
+#include "common/event_queue.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "nvram/nvram_config.hh"
+#include "workloads/zipfian.hh"
+
+using namespace vans;
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NestedScheduling)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] {
+        ++fired;
+        eq.scheduleAfter(5, [&] { ++fired; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.curTick(), 15u);
+}
+
+TEST(EventQueue, SchedulingInPastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(5, [] {}), "past");
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(100, [&] { ++fired; });
+    eq.runUntil(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, StepCountsExecutions)
+{
+    EventQueue eq;
+    eq.schedule(1, [] {});
+    eq.schedule(2, [] {});
+    EXPECT_TRUE(eq.step());
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+    EXPECT_EQ(eq.executed(), 2u);
+}
+
+TEST(Types, TickConversions)
+{
+    EXPECT_EQ(nsToTicks(1.0), 1000u);
+    EXPECT_DOUBLE_EQ(ticksToNs(2500), 2.5);
+    EXPECT_EQ(alignDown(0x12345, 0x1000), 0x12000u);
+    EXPECT_EQ(alignUp(0x12345, 0x1000), 0x13000u);
+    EXPECT_TRUE(isPowerOf2(64));
+    EXPECT_FALSE(isPowerOf2(48));
+    EXPECT_EQ(log2i(4096), 12u);
+}
+
+TEST(Types, ClockDomain)
+{
+    ClockDomain clk(1000.0); // 1 GHz -> 1000 ps period.
+    EXPECT_EQ(clk.period(), 1000u);
+    EXPECT_EQ(clk.cycles(5), 5000u);
+    EXPECT_EQ(clk.nextEdge(1500), 2000u);
+    EXPECT_EQ(clk.nextEdge(2000), 2000u);
+}
+
+TEST(Config, ParsesSectionsAndTypes)
+{
+    auto cfg = Config::fromString(
+        "[nvram]\n"
+        "num_dimms = 6\n"
+        "interleaved = true\n"
+        "dimm_capacity = 4G  # comment\n"
+        "media_read_ns = 1.5\n"
+        "; another comment\n"
+        "[cpu]\n"
+        "freq = 2.2\n");
+    EXPECT_EQ(cfg.getU64("nvram", "num_dimms", 0), 6u);
+    EXPECT_TRUE(cfg.getBool("nvram", "interleaved", false));
+    EXPECT_EQ(cfg.getU64("nvram", "dimm_capacity", 0), 4ull << 30);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("nvram", "media_read_ns", 0), 1.5);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("cpu", "freq", 0), 2.2);
+    EXPECT_EQ(cfg.getU64("cpu", "missing", 42), 42u);
+}
+
+TEST(Config, SizeSuffixes)
+{
+    EXPECT_EQ(Config::parseSize("64"), 64u);
+    EXPECT_EQ(Config::parseSize("16K"), 16384u);
+    EXPECT_EQ(Config::parseSize("16KiB"), 16384u);
+    EXPECT_EQ(Config::parseSize("4M"), 4ull << 20);
+    EXPECT_EQ(Config::parseSize("2G"), 2ull << 30);
+    EXPECT_EQ(Config::parseSize("1.5K"), 1536u);
+}
+
+TEST(Config, RoundTrip)
+{
+    Config cfg;
+    cfg.set("a", "x", "1");
+    cfg.set("b", "y", "hello");
+    auto cfg2 = Config::fromString(cfg.toString());
+    EXPECT_EQ(cfg2.get("a", "x", ""), "1");
+    EXPECT_EQ(cfg2.get("b", "y", ""), "hello");
+    EXPECT_EQ(cfg2.sections().size(), 2u);
+}
+
+TEST(Config, FromConfigOverridesNvram)
+{
+    auto cfg = Config::fromString("[nvram]\nlsq_entries = 32\n");
+    auto nv = nvram::NvramConfig::fromConfig(cfg);
+    EXPECT_EQ(nv.lsqEntries, 32u);
+    // Untouched keys keep defaults.
+    EXPECT_EQ(nv.rmwEntries,
+              nvram::NvramConfig::optaneDefault().rmwEntries);
+}
+
+TEST(Curve, InflectionOnStep)
+{
+    Curve c;
+    for (std::uint64_t x = 64; x <= 1 << 20; x *= 2) {
+        double y = x <= 16384 ? 100 : 300;
+        c.add(static_cast<double>(x), y);
+    }
+    auto infl = c.findInflections(0.25);
+    ASSERT_EQ(infl.size(), 1u);
+    EXPECT_EQ(infl[0], 16384.0);
+}
+
+TEST(Curve, InflectionOnGradualRun)
+{
+    // A multi-step ramp whose per-step rise is small but whose
+    // cumulative rise is large must still be one inflection.
+    Curve c;
+    double y = 100;
+    for (std::uint64_t x = 64; x <= 1 << 20; x *= 2) {
+        c.add(static_cast<double>(x), y);
+        if (x >= 4096 && x < 65536)
+            y *= 1.15;
+    }
+    auto infl = c.findInflections(0.25);
+    ASSERT_EQ(infl.size(), 1u);
+    EXPECT_EQ(infl[0], 4096.0);
+}
+
+TEST(Curve, NoFalseInflectionOnNoise)
+{
+    Curve c;
+    for (std::uint64_t x = 64; x <= 1 << 16; x *= 2) {
+        double y = 100 + ((x / 64) % 2 ? 2.0 : 0.0); // 2% jitter.
+        c.add(static_cast<double>(x), y);
+    }
+    EXPECT_TRUE(c.findInflections(0.25).empty());
+}
+
+TEST(Curve, TwoInflections)
+{
+    Curve c;
+    for (std::uint64_t x = 64; x <= 1 << 26; x *= 2) {
+        double y = x <= 16384 ? 170 : (x <= (16 << 20) ? 300 : 410);
+        c.add(static_cast<double>(x), y);
+    }
+    auto infl = c.findInflections(0.22);
+    ASSERT_EQ(infl.size(), 2u);
+    EXPECT_EQ(infl[0], 16384.0);
+    EXPECT_EQ(infl[1], 16.0 * (1 << 20));
+}
+
+TEST(Curve, SegmentLevels)
+{
+    Curve c;
+    for (std::uint64_t x = 64; x <= 1 << 26; x *= 2) {
+        double y = x <= 16384 ? 170 : (x <= (16 << 20) ? 300 : 410);
+        c.add(static_cast<double>(x), y);
+    }
+    auto levels = c.segmentLevels(c.findInflections(0.22));
+    ASSERT_EQ(levels.size(), 3u);
+    EXPECT_NEAR(levels[0], 170, 1);
+    EXPECT_NEAR(levels[1], 300, 25); // Includes ramp points.
+    EXPECT_NEAR(levels[2], 410, 25);
+}
+
+TEST(Curve, AccuracyAgainstSelfIsOne)
+{
+    Curve c;
+    for (std::uint64_t x = 64; x <= 4096; x *= 2)
+        c.add(static_cast<double>(x), static_cast<double>(x) * 2);
+    EXPECT_NEAR(c.accuracyAgainst(c), 1.0, 1e-9);
+}
+
+TEST(Curve, AccuracyPenalizesMismatch)
+{
+    Curve a, b;
+    for (std::uint64_t x = 64; x <= 4096; x *= 2) {
+        a.add(static_cast<double>(x), 100);
+        b.add(static_cast<double>(x), 150);
+    }
+    EXPECT_NEAR(a.accuracyAgainst(b), 1.0 - 50.0 / 150.0, 1e-9);
+}
+
+TEST(Curve, ValueAtUsesFloorSemantics)
+{
+    Curve c;
+    c.add(64, 1);
+    c.add(128, 2);
+    c.add(256, 3);
+    EXPECT_EQ(c.valueAt(64), 1);
+    EXPECT_EQ(c.valueAt(200), 2);
+    EXPECT_EQ(c.valueAt(9999), 3);
+}
+
+TEST(Curve, LogSweepEndpoints)
+{
+    auto s = logSweep(64, 1024);
+    ASSERT_EQ(s.size(), 5u);
+    EXPECT_EQ(s.front(), 64u);
+    EXPECT_EQ(s.back(), 1024u);
+    auto odd = logSweep(64, 100);
+    EXPECT_EQ(odd.back(), 100u);
+}
+
+TEST(Curve, FormatSize)
+{
+    EXPECT_EQ(formatSize(64), "64");
+    EXPECT_EQ(formatSize(16384), "16K");
+    EXPECT_EQ(formatSize(16ull << 20), "16M");
+    EXPECT_EQ(formatSize(2ull << 30), "2G");
+    EXPECT_EQ(formatSize(100), "100");
+}
+
+TEST(Stats, ScalarAndAverage)
+{
+    StatGroup g("test");
+    g.scalar("count").inc();
+    g.scalar("count").inc(4);
+    EXPECT_EQ(g.scalarValue("count"), 5u);
+    g.average("lat").sample(10);
+    g.average("lat").sample(20);
+    EXPECT_DOUBLE_EQ(g.average("lat").mean(), 15.0);
+    EXPECT_DOUBLE_EQ(g.average("lat").min(), 10.0);
+    EXPECT_DOUBLE_EQ(g.average("lat").max(), 20.0);
+    EXPECT_NE(g.dump().find("test.count = 5"), std::string::npos);
+    g.reset();
+    EXPECT_EQ(g.scalarValue("count"), 0u);
+}
+
+TEST(Stats, DistributionPercentiles)
+{
+    StatDistribution d;
+    for (int i = 1; i <= 100; ++i)
+        d.sample(i);
+    EXPECT_NEAR(d.percentile(0.5), 50.5, 1.0);
+    EXPECT_NEAR(d.percentile(0.99), 99, 1.5);
+    EXPECT_DOUBLE_EQ(d.min(), 1);
+    EXPECT_DOUBLE_EQ(d.max(), 100);
+    EXPECT_NEAR(d.fractionAbove(90), 0.10, 0.001);
+}
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42), c(43);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        EXPECT_LT(r.below(17), 17u);
+    }
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng r(3);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto orig = v;
+    r.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+TEST(Zipfian, SkewsTowardLowRanks)
+{
+    Rng r(5);
+    workloads::Zipfian z(10000, 0.99);
+    std::uint64_t low = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        if (z.next(r) < 10)
+            ++low;
+    }
+    // With theta=0.99, the top-10 of 10k keys draw a large share.
+    EXPECT_GT(static_cast<double>(low) / n, 0.25);
+}
+
+TEST(Zipfian, StaysInRange)
+{
+    Rng r(6);
+    workloads::Zipfian z(100, 0.9);
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_LT(z.next(r), 100u);
+}
+
+TEST(AsciiChart, TableAlignsColumns)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22222"});
+    std::string s = t.render();
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("22222"), std::string::npos);
+}
+
+TEST(AsciiChart, ChartRendersCurves)
+{
+    Curve c("demo");
+    for (std::uint64_t x = 64; x <= 4096; x *= 2)
+        c.add(static_cast<double>(x), static_cast<double>(x));
+    std::string s = asciiChart({c});
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find('*'), std::string::npos);
+}

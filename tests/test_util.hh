@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared fixtures and helpers for the test suite.
+ */
+
+#ifndef VANS_TESTS_TEST_UTIL_HH
+#define VANS_TESTS_TEST_UTIL_HH
+
+#include <memory>
+
+#include "common/event_queue.hh"
+#include "common/logging.hh"
+#include "lens/driver.hh"
+#include "nvram/vans_system.hh"
+
+namespace vans::test
+{
+
+/** A VANS instance + LENS driver with a given config. */
+struct VansFixture
+{
+    explicit VansFixture(
+        nvram::NvramConfig cfg = nvram::NvramConfig::optaneDefault())
+        : sys(eq, cfg), drv(sys)
+    {
+        setQuiet(true);
+    }
+
+    EventQueue eq;
+    nvram::VansSystem sys;
+    lens::Driver drv;
+};
+
+/** Reduced-cost config for tests: smaller buffers, faster sweeps. */
+inline nvram::NvramConfig
+smallConfig()
+{
+    nvram::NvramConfig cfg = nvram::NvramConfig::optaneDefault();
+    cfg.rmwEntries = 16;                  // 4KB RMW buffer.
+    cfg.aitBufEntries = 64;               // 256KB AIT buffer.
+    cfg.dimmCapacity = 64ull << 20;
+    cfg.wearThreshold = 500;
+    cfg.migrationUs = 20;
+    return cfg;
+}
+
+} // namespace vans::test
+
+#endif // VANS_TESTS_TEST_UTIL_HH
