@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_design.cc" "bench-objs/CMakeFiles/bench_ablation_design.dir/bench_ablation_design.cc.o" "gcc" "bench-objs/CMakeFiles/bench_ablation_design.dir/bench_ablation_design.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-objs/CMakeFiles/bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lens/CMakeFiles/vans_lens.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/vans_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/vans_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/vans_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvram/CMakeFiles/vans_nvram.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/vans_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/vans_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vans_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/vans_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vans_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

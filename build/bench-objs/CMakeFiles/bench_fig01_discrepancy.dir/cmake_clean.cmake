@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig01_discrepancy"
+  "../bench/bench_fig01_discrepancy.pdb"
+  "CMakeFiles/bench_fig01_discrepancy.dir/bench_fig01_discrepancy.cc.o"
+  "CMakeFiles/bench_fig01_discrepancy.dir/bench_fig01_discrepancy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_discrepancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

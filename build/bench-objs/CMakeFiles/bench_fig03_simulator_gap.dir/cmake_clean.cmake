@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03_simulator_gap"
+  "../bench/bench_fig03_simulator_gap.pdb"
+  "CMakeFiles/bench_fig03_simulator_gap.dir/bench_fig03_simulator_gap.cc.o"
+  "CMakeFiles/bench_fig03_simulator_gap.dir/bench_fig03_simulator_gap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_simulator_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_amplification"
+  "../bench/bench_fig06_amplification.pdb"
+  "CMakeFiles/bench_fig06_amplification.dir/bench_fig06_amplification.cc.o"
+  "CMakeFiles/bench_fig06_amplification.dir/bench_fig06_amplification.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_amplification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

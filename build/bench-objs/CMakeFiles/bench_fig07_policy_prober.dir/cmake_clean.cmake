@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_policy_prober"
+  "../bench/bench_fig07_policy_prober.pdb"
+  "CMakeFiles/bench_fig07_policy_prober.dir/bench_fig07_policy_prober.cc.o"
+  "CMakeFiles/bench_fig07_policy_prober.dir/bench_fig07_policy_prober.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_policy_prober.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

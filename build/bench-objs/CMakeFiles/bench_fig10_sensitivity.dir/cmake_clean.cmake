@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_sensitivity"
+  "../bench/bench_fig10_sensitivity.pdb"
+  "CMakeFiles/bench_fig10_sensitivity.dir/bench_fig10_sensitivity.cc.o"
+  "CMakeFiles/bench_fig10_sensitivity.dir/bench_fig10_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_spec"
+  "../bench/bench_fig11_spec.pdb"
+  "CMakeFiles/bench_fig11_spec.dir/bench_fig11_spec.cc.o"
+  "CMakeFiles/bench_fig11_spec.dir/bench_fig11_spec.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

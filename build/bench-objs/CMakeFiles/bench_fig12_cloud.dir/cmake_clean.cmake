@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_cloud"
+  "../bench/bench_fig12_cloud.pdb"
+  "CMakeFiles/bench_fig12_cloud.dir/bench_fig12_cloud.cc.o"
+  "CMakeFiles/bench_fig12_cloud.dir/bench_fig12_cloud.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_optimizations"
+  "../bench/bench_fig13_optimizations.pdb"
+  "CMakeFiles/bench_fig13_optimizations.dir/bench_fig13_optimizations.cc.o"
+  "CMakeFiles/bench_fig13_optimizations.dir/bench_fig13_optimizations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table01_profiler_matrix"
+  "../bench/bench_table01_profiler_matrix.pdb"
+  "CMakeFiles/bench_table01_profiler_matrix.dir/bench_table01_profiler_matrix.cc.o"
+  "CMakeFiles/bench_table01_profiler_matrix.dir/bench_table01_profiler_matrix.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table01_profiler_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table02_lens_overview"
+  "../bench/bench_table02_lens_overview.pdb"
+  "CMakeFiles/bench_table02_lens_overview.dir/bench_table02_lens_overview.cc.o"
+  "CMakeFiles/bench_table02_lens_overview.dir/bench_table02_lens_overview.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table02_lens_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table02_lens_overview.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table04_spec_workloads"
+  "../bench/bench_table04_spec_workloads.pdb"
+  "CMakeFiles/bench_table04_spec_workloads.dir/bench_table04_spec_workloads.cc.o"
+  "CMakeFiles/bench_table04_spec_workloads.dir/bench_table04_spec_workloads.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table04_spec_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_workload.dir/cloud_workload.cpp.o"
+  "CMakeFiles/cloud_workload.dir/cloud_workload.cpp.o.d"
+  "cloud_workload"
+  "cloud_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lens_profile.dir/lens_profile.cpp.o"
+  "CMakeFiles/lens_profile.dir/lens_profile.cpp.o.d"
+  "lens_profile"
+  "lens_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lens_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

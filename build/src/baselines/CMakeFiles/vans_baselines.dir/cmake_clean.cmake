@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vans_baselines.dir/dram_system.cc.o"
+  "CMakeFiles/vans_baselines.dir/dram_system.cc.o.d"
+  "libvans_baselines.a"
+  "libvans_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vans_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

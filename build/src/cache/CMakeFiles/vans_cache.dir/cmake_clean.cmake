@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vans_cache.dir/cache.cc.o"
+  "CMakeFiles/vans_cache.dir/cache.cc.o.d"
+  "CMakeFiles/vans_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/vans_cache.dir/hierarchy.cc.o.d"
+  "CMakeFiles/vans_cache.dir/tlb.cc.o"
+  "CMakeFiles/vans_cache.dir/tlb.cc.o.d"
+  "libvans_cache.a"
+  "libvans_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vans_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/ascii_chart.cc" "src/common/CMakeFiles/vans_common.dir/ascii_chart.cc.o" "gcc" "src/common/CMakeFiles/vans_common.dir/ascii_chart.cc.o.d"
+  "/root/repo/src/common/config.cc" "src/common/CMakeFiles/vans_common.dir/config.cc.o" "gcc" "src/common/CMakeFiles/vans_common.dir/config.cc.o.d"
+  "/root/repo/src/common/curve.cc" "src/common/CMakeFiles/vans_common.dir/curve.cc.o" "gcc" "src/common/CMakeFiles/vans_common.dir/curve.cc.o.d"
+  "/root/repo/src/common/event_queue.cc" "src/common/CMakeFiles/vans_common.dir/event_queue.cc.o" "gcc" "src/common/CMakeFiles/vans_common.dir/event_queue.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/common/CMakeFiles/vans_common.dir/logging.cc.o" "gcc" "src/common/CMakeFiles/vans_common.dir/logging.cc.o.d"
+  "/root/repo/src/common/request.cc" "src/common/CMakeFiles/vans_common.dir/request.cc.o" "gcc" "src/common/CMakeFiles/vans_common.dir/request.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/common/CMakeFiles/vans_common.dir/stats.cc.o" "gcc" "src/common/CMakeFiles/vans_common.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

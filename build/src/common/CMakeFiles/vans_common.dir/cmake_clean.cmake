@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vans_common.dir/ascii_chart.cc.o"
+  "CMakeFiles/vans_common.dir/ascii_chart.cc.o.d"
+  "CMakeFiles/vans_common.dir/config.cc.o"
+  "CMakeFiles/vans_common.dir/config.cc.o.d"
+  "CMakeFiles/vans_common.dir/curve.cc.o"
+  "CMakeFiles/vans_common.dir/curve.cc.o.d"
+  "CMakeFiles/vans_common.dir/event_queue.cc.o"
+  "CMakeFiles/vans_common.dir/event_queue.cc.o.d"
+  "CMakeFiles/vans_common.dir/logging.cc.o"
+  "CMakeFiles/vans_common.dir/logging.cc.o.d"
+  "CMakeFiles/vans_common.dir/request.cc.o"
+  "CMakeFiles/vans_common.dir/request.cc.o.d"
+  "CMakeFiles/vans_common.dir/stats.cc.o"
+  "CMakeFiles/vans_common.dir/stats.cc.o.d"
+  "libvans_common.a"
+  "libvans_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vans_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vans_cpu.dir/core.cc.o"
+  "CMakeFiles/vans_cpu.dir/core.cc.o.d"
+  "libvans_cpu.a"
+  "libvans_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vans_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/address_map.cc" "src/dram/CMakeFiles/vans_dram.dir/address_map.cc.o" "gcc" "src/dram/CMakeFiles/vans_dram.dir/address_map.cc.o.d"
+  "/root/repo/src/dram/checker.cc" "src/dram/CMakeFiles/vans_dram.dir/checker.cc.o" "gcc" "src/dram/CMakeFiles/vans_dram.dir/checker.cc.o.d"
+  "/root/repo/src/dram/command.cc" "src/dram/CMakeFiles/vans_dram.dir/command.cc.o" "gcc" "src/dram/CMakeFiles/vans_dram.dir/command.cc.o.d"
+  "/root/repo/src/dram/controller.cc" "src/dram/CMakeFiles/vans_dram.dir/controller.cc.o" "gcc" "src/dram/CMakeFiles/vans_dram.dir/controller.cc.o.d"
+  "/root/repo/src/dram/timing.cc" "src/dram/CMakeFiles/vans_dram.dir/timing.cc.o" "gcc" "src/dram/CMakeFiles/vans_dram.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vans_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vans_dram.dir/address_map.cc.o"
+  "CMakeFiles/vans_dram.dir/address_map.cc.o.d"
+  "CMakeFiles/vans_dram.dir/checker.cc.o"
+  "CMakeFiles/vans_dram.dir/checker.cc.o.d"
+  "CMakeFiles/vans_dram.dir/command.cc.o"
+  "CMakeFiles/vans_dram.dir/command.cc.o.d"
+  "CMakeFiles/vans_dram.dir/controller.cc.o"
+  "CMakeFiles/vans_dram.dir/controller.cc.o.d"
+  "CMakeFiles/vans_dram.dir/timing.cc.o"
+  "CMakeFiles/vans_dram.dir/timing.cc.o.d"
+  "libvans_dram.a"
+  "libvans_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vans_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

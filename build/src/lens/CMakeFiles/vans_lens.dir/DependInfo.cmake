@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lens/driver.cc" "src/lens/CMakeFiles/vans_lens.dir/driver.cc.o" "gcc" "src/lens/CMakeFiles/vans_lens.dir/driver.cc.o.d"
+  "/root/repo/src/lens/microbench.cc" "src/lens/CMakeFiles/vans_lens.dir/microbench.cc.o" "gcc" "src/lens/CMakeFiles/vans_lens.dir/microbench.cc.o.d"
+  "/root/repo/src/lens/probers.cc" "src/lens/CMakeFiles/vans_lens.dir/probers.cc.o" "gcc" "src/lens/CMakeFiles/vans_lens.dir/probers.cc.o.d"
+  "/root/repo/src/lens/report.cc" "src/lens/CMakeFiles/vans_lens.dir/report.cc.o" "gcc" "src/lens/CMakeFiles/vans_lens.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vans_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

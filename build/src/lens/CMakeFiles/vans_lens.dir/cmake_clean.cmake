@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vans_lens.dir/driver.cc.o"
+  "CMakeFiles/vans_lens.dir/driver.cc.o.d"
+  "CMakeFiles/vans_lens.dir/microbench.cc.o"
+  "CMakeFiles/vans_lens.dir/microbench.cc.o.d"
+  "CMakeFiles/vans_lens.dir/probers.cc.o"
+  "CMakeFiles/vans_lens.dir/probers.cc.o.d"
+  "CMakeFiles/vans_lens.dir/report.cc.o"
+  "CMakeFiles/vans_lens.dir/report.cc.o.d"
+  "libvans_lens.a"
+  "libvans_lens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vans_lens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

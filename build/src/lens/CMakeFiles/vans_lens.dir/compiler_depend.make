@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vans_lens.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nvram/ait.cc" "src/nvram/CMakeFiles/vans_nvram.dir/ait.cc.o" "gcc" "src/nvram/CMakeFiles/vans_nvram.dir/ait.cc.o.d"
+  "/root/repo/src/nvram/dimm.cc" "src/nvram/CMakeFiles/vans_nvram.dir/dimm.cc.o" "gcc" "src/nvram/CMakeFiles/vans_nvram.dir/dimm.cc.o.d"
+  "/root/repo/src/nvram/imc.cc" "src/nvram/CMakeFiles/vans_nvram.dir/imc.cc.o" "gcc" "src/nvram/CMakeFiles/vans_nvram.dir/imc.cc.o.d"
+  "/root/repo/src/nvram/lsq.cc" "src/nvram/CMakeFiles/vans_nvram.dir/lsq.cc.o" "gcc" "src/nvram/CMakeFiles/vans_nvram.dir/lsq.cc.o.d"
+  "/root/repo/src/nvram/media.cc" "src/nvram/CMakeFiles/vans_nvram.dir/media.cc.o" "gcc" "src/nvram/CMakeFiles/vans_nvram.dir/media.cc.o.d"
+  "/root/repo/src/nvram/nvram_config.cc" "src/nvram/CMakeFiles/vans_nvram.dir/nvram_config.cc.o" "gcc" "src/nvram/CMakeFiles/vans_nvram.dir/nvram_config.cc.o.d"
+  "/root/repo/src/nvram/rmw_buffer.cc" "src/nvram/CMakeFiles/vans_nvram.dir/rmw_buffer.cc.o" "gcc" "src/nvram/CMakeFiles/vans_nvram.dir/rmw_buffer.cc.o.d"
+  "/root/repo/src/nvram/vans_system.cc" "src/nvram/CMakeFiles/vans_nvram.dir/vans_system.cc.o" "gcc" "src/nvram/CMakeFiles/vans_nvram.dir/vans_system.cc.o.d"
+  "/root/repo/src/nvram/wear_leveler.cc" "src/nvram/CMakeFiles/vans_nvram.dir/wear_leveler.cc.o" "gcc" "src/nvram/CMakeFiles/vans_nvram.dir/wear_leveler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vans_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/vans_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

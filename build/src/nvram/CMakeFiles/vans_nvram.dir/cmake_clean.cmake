@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vans_nvram.dir/ait.cc.o"
+  "CMakeFiles/vans_nvram.dir/ait.cc.o.d"
+  "CMakeFiles/vans_nvram.dir/dimm.cc.o"
+  "CMakeFiles/vans_nvram.dir/dimm.cc.o.d"
+  "CMakeFiles/vans_nvram.dir/imc.cc.o"
+  "CMakeFiles/vans_nvram.dir/imc.cc.o.d"
+  "CMakeFiles/vans_nvram.dir/lsq.cc.o"
+  "CMakeFiles/vans_nvram.dir/lsq.cc.o.d"
+  "CMakeFiles/vans_nvram.dir/media.cc.o"
+  "CMakeFiles/vans_nvram.dir/media.cc.o.d"
+  "CMakeFiles/vans_nvram.dir/nvram_config.cc.o"
+  "CMakeFiles/vans_nvram.dir/nvram_config.cc.o.d"
+  "CMakeFiles/vans_nvram.dir/rmw_buffer.cc.o"
+  "CMakeFiles/vans_nvram.dir/rmw_buffer.cc.o.d"
+  "CMakeFiles/vans_nvram.dir/vans_system.cc.o"
+  "CMakeFiles/vans_nvram.dir/vans_system.cc.o.d"
+  "CMakeFiles/vans_nvram.dir/wear_leveler.cc.o"
+  "CMakeFiles/vans_nvram.dir/wear_leveler.cc.o.d"
+  "libvans_nvram.a"
+  "libvans_nvram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vans_nvram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/lazy_cache.cc" "src/opt/CMakeFiles/vans_opt.dir/lazy_cache.cc.o" "gcc" "src/opt/CMakeFiles/vans_opt.dir/lazy_cache.cc.o.d"
+  "/root/repo/src/opt/pretranslation.cc" "src/opt/CMakeFiles/vans_opt.dir/pretranslation.cc.o" "gcc" "src/opt/CMakeFiles/vans_opt.dir/pretranslation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vans_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvram/CMakeFiles/vans_nvram.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/vans_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/vans_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

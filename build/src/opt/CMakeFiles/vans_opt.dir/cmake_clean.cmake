@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vans_opt.dir/lazy_cache.cc.o"
+  "CMakeFiles/vans_opt.dir/lazy_cache.cc.o.d"
+  "CMakeFiles/vans_opt.dir/pretranslation.cc.o"
+  "CMakeFiles/vans_opt.dir/pretranslation.cc.o.d"
+  "libvans_opt.a"
+  "libvans_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vans_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vans_trace.dir/trace.cc.o"
+  "CMakeFiles/vans_trace.dir/trace.cc.o.d"
+  "libvans_trace.a"
+  "libvans_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vans_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/cloud.cc" "src/workloads/CMakeFiles/vans_workloads.dir/cloud.cc.o" "gcc" "src/workloads/CMakeFiles/vans_workloads.dir/cloud.cc.o.d"
+  "/root/repo/src/workloads/spec_synth.cc" "src/workloads/CMakeFiles/vans_workloads.dir/spec_synth.cc.o" "gcc" "src/workloads/CMakeFiles/vans_workloads.dir/spec_synth.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vans_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vans_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vans_workloads.dir/cloud.cc.o"
+  "CMakeFiles/vans_workloads.dir/cloud.cc.o.d"
+  "CMakeFiles/vans_workloads.dir/spec_synth.cc.o"
+  "CMakeFiles/vans_workloads.dir/spec_synth.cc.o.d"
+  "libvans_workloads.a"
+  "libvans_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vans_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

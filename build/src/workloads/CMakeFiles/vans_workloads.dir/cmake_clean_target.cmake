@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvans_workloads.a"
+)

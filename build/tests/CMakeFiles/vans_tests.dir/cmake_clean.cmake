@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vans_tests.dir/test_baselines_opt.cc.o"
+  "CMakeFiles/vans_tests.dir/test_baselines_opt.cc.o.d"
+  "CMakeFiles/vans_tests.dir/test_cache_cpu.cc.o"
+  "CMakeFiles/vans_tests.dir/test_cache_cpu.cc.o.d"
+  "CMakeFiles/vans_tests.dir/test_common.cc.o"
+  "CMakeFiles/vans_tests.dir/test_common.cc.o.d"
+  "CMakeFiles/vans_tests.dir/test_dram.cc.o"
+  "CMakeFiles/vans_tests.dir/test_dram.cc.o.d"
+  "CMakeFiles/vans_tests.dir/test_lens_recovery.cc.o"
+  "CMakeFiles/vans_tests.dir/test_lens_recovery.cc.o.d"
+  "CMakeFiles/vans_tests.dir/test_nvram.cc.o"
+  "CMakeFiles/vans_tests.dir/test_nvram.cc.o.d"
+  "vans_tests"
+  "vans_tests.pdb"
+  "vans_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vans_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
