@@ -16,6 +16,7 @@
 
 #include "bench/bench_util.hh"
 #include "cache/tlb.hh"
+#include "common/sweep.hh"
 #include "lens/microbench.hh"
 #include "lens/probers.hh"
 #include "nvram/vans_system.hh"
@@ -28,15 +29,19 @@ main()
 {
     banner("Figure 5", "LENS buffer prober on VANS");
 
-    EventQueue eq;
-    nvram::VansSystem sys(eq, nvram::NvramConfig::optaneDefault());
-    lens::Driver drv(sys);
+    // Sweep points fan out across host cores (VANS_THREADS=1 forces
+    // the serial reference execution; outputs are identical).
+    SystemFactory factory = [](EventQueue &eq) {
+        return std::make_unique<nvram::VansSystem>(
+            eq, nvram::NvramConfig::optaneDefault());
+    };
+    SweepRunner sweep;
 
     lens::BufferProberParams bp;
     bp.maxRegion = 128ull << 20;
     bp.warmupLines = 9000;
     bp.measureLines = 3000;
-    auto probe = lens::runBufferProber(drv, bp);
+    auto probe = lens::runBufferProber(factory, bp, sweep);
 
     std::printf("\n(a) 64B PC-Block latency per CL (ns)\n");
     std::vector<std::uint64_t> xs;
@@ -84,21 +89,26 @@ main()
     // ---- (d) TLB MPKI across the same sweep ------------------------
     std::printf("(d) L2 TLB walks per kilo-access across regions\n");
     Curve tlb_curve("tlb-walks/K");
-    for (std::uint64_t region : logSweep(4096, 128ull << 20, 4)) {
-        cache::Tlb tlb(cache::TlbParams{});
-        auto order = lens::chaseOrder(0, region, 64, 6000, region);
-        // Warm, then measure.
-        for (Addr a : order)
-            tlb.access(a);
-        std::uint64_t walks0 = tlb.stats().scalarValue("walks");
-        for (Addr a : order)
-            tlb.access(a);
-        std::uint64_t walks =
-            tlb.stats().scalarValue("walks") - walks0;
-        tlb_curve.add(static_cast<double>(region),
-                      1000.0 * static_cast<double>(walks) /
-                          static_cast<double>(order.size()));
-    }
+    auto tlb_regions = logSweep(4096, 128ull << 20, 4);
+    auto tlb_rates = sweep.map<double>(
+        tlb_regions.size(), [&](std::size_t i) {
+            std::uint64_t region = tlb_regions[i];
+            cache::Tlb tlb(cache::TlbParams{});
+            auto order = lens::chaseOrder(0, region, 64, 6000, region);
+            // Warm, then measure.
+            for (Addr a : order)
+                tlb.access(a);
+            std::uint64_t walks0 = tlb.stats().scalarValue("walks");
+            for (Addr a : order)
+                tlb.access(a);
+            std::uint64_t walks =
+                tlb.stats().scalarValue("walks") - walks0;
+            return 1000.0 * static_cast<double>(walks) /
+                   static_cast<double>(order.size());
+        });
+    for (std::size_t i = 0; i < tlb_regions.size(); ++i)
+        tlb_curve.add(static_cast<double>(tlb_regions[i]),
+                      tlb_rates[i]);
     printCurves({tlb_curve}, "region");
     check("TLB walk rate does not jump at the 16KB boundary",
           std::abs(tlb_curve.valueAt(32 << 10) -

@@ -14,6 +14,7 @@
  */
 
 #include "bench/bench_util.hh"
+#include "common/sweep.hh"
 #include "lens/probers.hh"
 #include "nvram/vans_system.hh"
 
@@ -25,15 +26,17 @@ main()
 {
     banner("Figure 6", "read/write amplification scores (LENS)");
 
-    EventQueue eq;
-    nvram::VansSystem sys(eq, nvram::NvramConfig::optaneDefault());
-    lens::Driver drv(sys);
+    SystemFactory factory = [](EventQueue &eq) {
+        return std::make_unique<nvram::VansSystem>(
+            eq, nvram::NvramConfig::optaneDefault());
+    };
+    SweepRunner sweep;
 
     lens::BufferProberParams bp;
     bp.maxRegion = 64ull << 20;
     bp.warmupLines = 8000;
     bp.measureLines = 2500;
-    auto probe = lens::runBufferProber(drv, bp);
+    auto probe = lens::runBufferProber(factory, bp, sweep);
 
     std::printf("\n(a) read amplification scores\n");
     printCurves({probe.readAmpL1, probe.readAmpL2}, "PC-Block");

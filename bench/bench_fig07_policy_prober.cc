@@ -15,6 +15,7 @@
 
 #include "bench/bench_util.hh"
 #include "cache/tlb.hh"
+#include "common/sweep.hh"
 #include "lens/probers.hh"
 #include "nvram/vans_system.hh"
 
@@ -27,20 +28,21 @@ main()
     banner("Figure 7", "LENS policy prober on VANS");
 
     // ---- (a) interleaving ------------------------------------------
-    nvram::NvramConfig inter = nvram::NvramConfig::optaneDefault();
-    inter.numDimms = 6;
-    inter.interleaved = true;
-    EventQueue eq_i;
-    nvram::VansSystem sys_i(eq_i, inter, "vans-6dimm");
-    lens::Driver drv_i(sys_i);
-
-    EventQueue eq_s;
-    nvram::VansSystem sys_s(eq_s, nvram::NvramConfig::optaneDefault(),
-                            "vans-1dimm");
-    lens::Driver drv_s(sys_s);
+    SweepRunner sweep;
+    SystemFactory factory_i = [](EventQueue &eq) {
+        nvram::NvramConfig inter = nvram::NvramConfig::optaneDefault();
+        inter.numDimms = 6;
+        inter.interleaved = true;
+        return std::make_unique<nvram::VansSystem>(eq, inter,
+                                                   "vans-6dimm");
+    };
+    SystemFactory factory_s = [](EventQueue &eq) {
+        return std::make_unique<nvram::VansSystem>(
+            eq, nvram::NvramConfig::optaneDefault(), "vans-1dimm");
+    };
 
     lens::PolicyProbe il;
-    lens::runInterleaveProbe(drv_i, drv_s, il, 16384);
+    lens::runInterleaveProbe(factory_i, factory_s, il, 16384, sweep);
 
     std::printf("\n(a) sequential write execution time (us)\n");
     // Sample every 4th point to keep the table readable.
@@ -65,17 +67,17 @@ main()
     // ---- (b) overwrite tail -----------------------------------------
     // A reduced wear threshold keeps the bench quick; the interval
     // scales linearly (ablation bench sweeps it).
-    nvram::NvramConfig cfg = nvram::NvramConfig::optaneDefault();
-    cfg.wearThreshold = 3500; // 1/4 of the characterized 14000.
-    EventQueue eq_w;
-    nvram::VansSystem sys_w(eq_w, cfg);
-    lens::Driver drv_w(sys_w);
+    SystemFactory factory_w = [](EventQueue &eq) {
+        nvram::NvramConfig cfg = nvram::NvramConfig::optaneDefault();
+        cfg.wearThreshold = 3500; // 1/4 of the characterized 14000.
+        return std::make_unique<nvram::VansSystem>(eq, cfg);
+    };
 
     lens::PolicyProberParams pp;
     pp.overwriteIterations = 16000;
     pp.tailRegions = {256, 4096, 32768, 131072, 524288};
     pp.tailSweepBytes = 6ull << 20;
-    auto probe = lens::runPolicyProber(drv_w, pp);
+    auto probe = lens::runPolicyProber(factory_w, pp, sweep);
 
     std::printf("(b) 256B overwrite: iteration latency series\n");
     std::printf("  normal write: %.0f ns, tail: %.1f us, interval: "

@@ -14,6 +14,7 @@
  */
 
 #include "bench/bench_util.hh"
+#include "common/sweep.hh"
 #include "lens/microbench.hh"
 #include "lens/probers.hh"
 #include "nvram/vans_system.hh"
@@ -25,25 +26,37 @@ namespace
 {
 
 std::pair<Curve, Curve>
-latencyCurves(MemorySystem &mem,
+latencyCurves(const SystemFactory &factory, const SweepRunner &sweep,
               const std::vector<std::uint64_t> &regions,
               const char *suffix)
 {
-    lens::Driver drv(mem);
-    Curve ld(std::string("VANS-ld") + suffix);
-    Curve st(std::string("VANS-st") + suffix);
-    for (std::uint64_t region : regions) {
+    struct Pt
+    {
+        double ld = 0;
+        double st = 0;
+    };
+    auto pts = sweep.map<Pt>(regions.size(), [&](std::size_t i) {
+        EventQueue eq;
+        auto sys = factory(eq);
+        lens::Driver drv(*sys);
         lens::PtrChaseParams pc;
-        pc.regionBytes = region;
+        pc.regionBytes = regions[i];
         pc.warmupLines = 9000;
         pc.measureLines = 2500;
-        pc.seed = region;
-        ld.add(static_cast<double>(region),
-               lens::ptrChase(drv, pc).nsPerLine);
+        pc.seed = regions[i];
+        pc.coverageWarm = true;
+        Pt out;
+        out.ld = lens::ptrChase(drv, pc).nsPerLine;
         pc.writeMode = true;
-        st.add(static_cast<double>(region),
-               lens::ptrChase(drv, pc).nsPerLine);
+        out.st = lens::ptrChase(drv, pc).nsPerLine;
         drv.fence();
+        return out;
+    });
+    Curve ld(std::string("VANS-ld") + suffix);
+    Curve st(std::string("VANS-st") + suffix);
+    for (std::size_t i = 0; i < regions.size(); ++i) {
+        ld.add(static_cast<double>(regions[i]), pts[i].ld);
+        st.add(static_cast<double>(regions[i]), pts[i].st);
     }
     return {ld, st};
 }
@@ -56,11 +69,14 @@ main()
     banner("Figure 9", "VANS validation with microbenchmarks");
 
     auto regions = logSweep(64, 128ull << 20, 2);
+    SweepRunner sweep;
 
     // ---- (a) 1 DIMM --------------------------------------------------
-    EventQueue eq1;
-    nvram::VansSystem one(eq1, nvram::NvramConfig::optaneDefault());
-    auto [ld1, st1] = latencyCurves(one, regions, "");
+    SystemFactory one = [](EventQueue &eq) {
+        return std::make_unique<nvram::VansSystem>(
+            eq, nvram::NvramConfig::optaneDefault());
+    };
+    auto [ld1, st1] = latencyCurves(one, sweep, regions, "");
     auto ld_ref = optaneLoadReference(regions);
     auto st_ref = optaneStoreReference(regions);
 
@@ -77,12 +93,13 @@ main()
           acc_st > 0.35);
 
     // ---- (b) 6 interleaved DIMMs --------------------------------------
-    nvram::NvramConfig six = nvram::NvramConfig::optaneDefault();
-    six.numDimms = 6;
-    six.interleaved = true;
-    EventQueue eq6;
-    nvram::VansSystem vans6(eq6, six, "vans6");
-    auto [ld6, st6] = latencyCurves(vans6, regions, "-6d");
+    SystemFactory six = [](EventQueue &eq) {
+        nvram::NvramConfig cfg = nvram::NvramConfig::optaneDefault();
+        cfg.numDimms = 6;
+        cfg.interleaved = true;
+        return std::make_unique<nvram::VansSystem>(eq, cfg, "vans6");
+    };
+    auto [ld6, st6] = latencyCurves(six, sweep, regions, "-6d");
 
     std::printf("(b) 6 interleaved DIMMs, latency per CL (ns)\n");
     printCurves({ld6, st6}, "region");
@@ -96,29 +113,36 @@ main()
                 "(VANS counters vs analytic)\n");
     Curve amp_sim("vans-counter");
     Curve amp_ref("analytic");
-    for (std::uint32_t block : {64u, 128u, 256u, 1024u, 4096u}) {
-        EventQueue eq;
-        nvram::VansSystem sys(eq,
-                              nvram::NvramConfig::optaneDefault());
-        lens::Driver drv(sys);
-        lens::PtrChaseParams pc;
-        pc.regionBytes = 1 << 20; // Overflows RMW, fits AIT.
-        pc.blockBytes = block;
-        pc.mlp = 8;
-        pc.warmupLines = 4000;
-        pc.measureLines = 4000;
-        lens::ptrChase(drv, pc);
-        auto &rmw = sys.dimm(0).rmw().stats();
-        double misses =
-            static_cast<double>(rmw.scalarValue("read_misses"));
-        double hits =
-            static_cast<double>(rmw.scalarValue("read_hits"));
-        // Amplification: bytes fetched (256B per miss) per byte
-        // demanded (64B per access).
-        double amp = (misses * 256.0) / ((misses + hits) * 64.0);
-        amp_sim.add(block, amp);
-        amp_ref.add(block,
-                    256.0 / std::min<std::uint32_t>(block, 256));
+    const std::vector<std::uint32_t> amp_blocks = {64, 128, 256,
+                                                   1024, 4096};
+    auto amp_vals = sweep.map<double>(
+        amp_blocks.size(), [&](std::size_t i) {
+            std::uint32_t block = amp_blocks[i];
+            EventQueue eq;
+            nvram::VansSystem sys(
+                eq, nvram::NvramConfig::optaneDefault());
+            lens::Driver drv(sys);
+            lens::PtrChaseParams pc;
+            pc.regionBytes = 1 << 20; // Overflows RMW, fits AIT.
+            pc.blockBytes = block;
+            pc.mlp = 8;
+            pc.warmupLines = 4000;
+            pc.measureLines = 4000;
+            lens::ptrChase(drv, pc);
+            auto &rmw = sys.dimm(0).rmw().stats();
+            double misses =
+                static_cast<double>(rmw.scalarValue("read_misses"));
+            double hits =
+                static_cast<double>(rmw.scalarValue("read_hits"));
+            // Amplification: bytes fetched (256B per miss) per byte
+            // demanded (64B per access).
+            return (misses * 256.0) / ((misses + hits) * 64.0);
+        });
+    for (std::size_t i = 0; i < amp_blocks.size(); ++i) {
+        amp_sim.add(amp_blocks[i], amp_vals[i]);
+        amp_ref.add(amp_blocks[i],
+                    256.0 / std::min<std::uint32_t>(amp_blocks[i],
+                                                    256));
     }
     printCurves({amp_sim, amp_ref}, "PC-Block");
     check("counter amplification tracks the analytic model "
@@ -128,15 +152,15 @@ main()
           amp_sim.valueAt(64) > 3.0);
 
     // ---- (d) overwrite tail --------------------------------------------
-    nvram::NvramConfig wcfg = nvram::NvramConfig::optaneDefault();
-    wcfg.wearThreshold = 3500;
-    EventQueue eqw;
-    nvram::VansSystem sysw(eqw, wcfg);
-    lens::Driver drvw(sysw);
+    SystemFactory wfac = [](EventQueue &eq) {
+        nvram::NvramConfig wcfg = nvram::NvramConfig::optaneDefault();
+        wcfg.wearThreshold = 3500;
+        return std::make_unique<nvram::VansSystem>(eq, wcfg);
+    };
     lens::PolicyProberParams pp;
     pp.overwriteIterations = 12000;
     pp.tailRegions = {};
-    auto probe = lens::runPolicyProber(drvw, pp);
+    auto probe = lens::runPolicyProber(wfac, pp, sweep);
     std::printf("(d) overwrite tail: %.1f us every ~%.0f writes "
                 "(normal %.0f ns)\n\n",
                 probe.tailLatencyUs, probe.tailIntervalWrites,

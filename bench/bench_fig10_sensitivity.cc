@@ -11,6 +11,7 @@
  */
 
 #include "bench/bench_util.hh"
+#include "common/sweep.hh"
 #include "lens/microbench.hh"
 #include "nvram/vans_system.hh"
 
@@ -21,26 +22,37 @@ namespace
 {
 
 std::pair<Curve, Curve>
-curves(const nvram::NvramConfig &cfg, const std::string &label,
+curves(const SweepRunner &sweep, const nvram::NvramConfig &cfg,
+       const std::string &label,
        const std::vector<std::uint64_t> &regions)
 {
-    EventQueue eq;
-    nvram::VansSystem sys(eq, cfg, label);
-    lens::Driver drv(sys);
-    Curve ld("ld-" + label);
-    Curve st("st-" + label);
-    for (std::uint64_t region : regions) {
+    struct Pt
+    {
+        double ld = 0;
+        double st = 0;
+    };
+    auto pts = sweep.map<Pt>(regions.size(), [&](std::size_t i) {
+        EventQueue eq;
+        nvram::VansSystem sys(eq, cfg, label);
+        lens::Driver drv(sys);
         lens::PtrChaseParams pc;
-        pc.regionBytes = region;
+        pc.regionBytes = regions[i];
         pc.warmupLines = 8000;
         pc.measureLines = 2000;
-        pc.seed = region;
-        ld.add(static_cast<double>(region),
-               lens::ptrChase(drv, pc).nsPerLine);
+        pc.seed = regions[i];
+        pc.coverageWarm = true;
+        Pt out;
+        out.ld = lens::ptrChase(drv, pc).nsPerLine;
         pc.writeMode = true;
-        st.add(static_cast<double>(region),
-               lens::ptrChase(drv, pc).nsPerLine);
+        out.st = lens::ptrChase(drv, pc).nsPerLine;
         drv.fence();
+        return out;
+    });
+    Curve ld("ld-" + label);
+    Curve st("st-" + label);
+    for (std::size_t i = 0; i < regions.size(); ++i) {
+        ld.add(static_cast<double>(regions[i]), pts[i].ld);
+        st.add(static_cast<double>(regions[i]), pts[i].st);
     }
     return {ld, st};
 }
@@ -54,6 +66,7 @@ main()
                         "count");
 
     auto regions = logSweep(64, 64ull << 20, 8);
+    SweepRunner sweep;
 
     // ---- (a) media capacity ------------------------------------------
     std::printf("\n(a) DIMM media capacity sweep (load ns/CL)\n");
@@ -61,7 +74,8 @@ main()
     for (std::uint64_t gb : {2ull, 4ull, 8ull, 16ull}) {
         nvram::NvramConfig cfg = nvram::NvramConfig::optaneDefault();
         cfg.dimmCapacity = gb << 30;
-        auto [ld, st] = curves(cfg, formatSize(gb << 30), regions);
+        auto [ld, st] =
+            curves(sweep, cfg, formatSize(gb << 30), regions);
         cap_curves.push_back(ld);
     }
     printCurves(cap_curves, "region");
@@ -86,7 +100,7 @@ main()
         cfg.numDimms = n;
         cfg.interleaved = n > 1;
         auto [ld, st] =
-            curves(cfg, std::to_string(n) + "dimm", regions);
+            curves(sweep, cfg, std::to_string(n) + "dimm", regions);
         ld_curves.push_back(ld);
         st_curves.push_back(st);
     }

@@ -6,6 +6,7 @@
  */
 
 #include "bench/bench_util.hh"
+#include "common/sweep.hh"
 #include "lens/report.hh"
 #include "nvram/vans_system.hh"
 
@@ -18,11 +19,12 @@ main()
     banner("Table II", "LENS probers / microbenchmarks / detected "
                        "microarchitecture");
 
-    nvram::NvramConfig cfg = nvram::NvramConfig::optaneDefault();
-    cfg.wearThreshold = 3500; // Keep the policy prober quick.
-    EventQueue eq;
-    nvram::VansSystem sys(eq, cfg);
-    lens::Driver drv(sys);
+    SystemFactory factory = [](EventQueue &eq) {
+        nvram::NvramConfig cfg = nvram::NvramConfig::optaneDefault();
+        cfg.wearThreshold = 3500; // Keep the policy prober quick.
+        return std::make_unique<nvram::VansSystem>(eq, cfg);
+    };
+    SweepRunner sweep;
 
     lens::LensParams lp;
     lp.buffer.maxRegion = 64ull << 20;
@@ -31,7 +33,7 @@ main()
     lp.policy.overwriteIterations = 12000;
     lp.policy.tailRegions = {256, 4096, 65536, 262144};
     lp.policy.tailSweepBytes = 4ull << 20;
-    auto rep = lens::runLens(drv, lp);
+    auto rep = lens::runLens(factory, lp, sweep);
 
     TextTable t({"prober", "microbenchmark", "behaviour",
                  "detected"});

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Run the simulator-performance microbenchmarks and drop the JSON
+# report at the repo root (BENCH_simperf.json), where CI and local
+# tooling can diff it against a previous run.
+#
+# Usage: bench/run_simperf.sh [build-dir]
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+bench_bin="$build_dir/bench/bench_simperf"
+
+if [ ! -x "$bench_bin" ]; then
+    echo "error: $bench_bin not found or not executable." >&2
+    echo "Build it first:  cmake -B build -S . && cmake --build build -j" >&2
+    exit 1
+fi
+
+out="$repo_root/BENCH_simperf.json"
+"$bench_bin" --benchmark_format=json --benchmark_out="$out" \
+             --benchmark_out_format=json
+echo "wrote $out"

@@ -1,9 +1,39 @@
 #include "common/event_queue.hh"
 
+#include <utility>
+
 #include "common/logging.hh"
+#include "common/stats.hh"
 
 namespace vans
 {
+
+void
+EventQueue::siftUp(std::size_t i)
+{
+    Key k = heap[i];
+    while (i > 0) {
+        std::size_t parent = (i - 1) / 2;
+        if (!before(k, heap[parent]))
+            break;
+        heap[i] = heap[parent];
+        i = parent;
+    }
+    heap[i] = k;
+}
+
+std::uint32_t
+EventQueue::acquireSlot()
+{
+    if (!freeSlots.empty()) {
+        std::uint32_t slot = freeSlots.back();
+        freeSlots.pop_back();
+        return slot;
+    }
+    if ((slabSize & (chunkSize - 1)) == 0)
+        chunks.push_back(std::make_unique<Callback[]>(chunkSize));
+    return slabSize++;
+}
 
 void
 EventQueue::schedule(Tick when, Callback cb)
@@ -12,7 +42,16 @@ EventQueue::schedule(Tick when, Callback cb)
         panic("event scheduled in the past (when=%llu now=%llu)",
               static_cast<unsigned long long>(when),
               static_cast<unsigned long long>(now));
-    heap.push(Entry{when, nextSeq++, std::move(cb)});
+    if (cb.heapAllocated())
+        ++numHeapCallbacks;
+
+    std::uint32_t slot = acquireSlot();
+    cell(slot) = std::move(cb);
+
+    heap.push_back(Key{when, nextSeq++, slot});
+    siftUp(heap.size() - 1);
+    if (heap.size() > maxPending)
+        maxPending = heap.size();
 }
 
 bool
@@ -20,13 +59,41 @@ EventQueue::step()
 {
     if (heap.empty())
         return false;
-    // priority_queue::top() returns a const ref; move the callback out
-    // via a copy of the entry before popping.
-    Entry e = heap.top();
-    heap.pop();
-    now = e.when;
+
+    Key k = heap.front();
+    // Floyd's deletion: push the root hole down to a leaf along the
+    // smaller-child path, drop the last key in, and sift it back up.
+    // One comparison per level on the way down beats the classic
+    // replace-root-and-sift-down on the deep, near-sorted heaps the
+    // pipeline produces.
+    Key last = heap.back();
+    heap.pop_back();
+    if (!heap.empty()) {
+        std::size_t i = 0;
+        std::size_t n = heap.size();
+        for (;;) {
+            std::size_t child = 2 * i + 1;
+            if (child >= n)
+                break;
+            if (child + 1 < n &&
+                before(heap[child + 1], heap[child]))
+                ++child;
+            heap[i] = heap[child];
+            i = child;
+        }
+        heap[i] = last;
+        siftUp(i);
+    }
+
+    now = k.when;
     ++numExecuted;
-    e.cb();
+    // Invoke in place: the chunked slab guarantees the cell stays
+    // put even if the callback schedules. The slot is released only
+    // after the invocation so a nested schedule cannot reuse it.
+    Callback &cb = cell(k.slot);
+    cb();
+    cb.reset();
+    freeSlots.push_back(k.slot);
     return true;
 }
 
@@ -41,12 +108,22 @@ EventQueue::run()
 Tick
 EventQueue::runUntil(Tick limit)
 {
-    while (!heap.empty() && heap.top().when <= limit)
+    while (!heap.empty() && heap.front().when <= limit)
         step();
     if (now < limit && heap.empty())
         return now;
     now = std::max(now, limit);
     return now;
+}
+
+void
+EventQueue::statsInto(StatGroup &stats) const
+{
+    stats.scalar("events_scheduled").set(nextSeq);
+    stats.scalar("events_executed").set(numExecuted);
+    stats.scalar("peak_pending").set(maxPending);
+    stats.scalar("callback_heap_spills").set(numHeapCallbacks);
+    stats.scalar("slab_capacity").set(slabSize);
 }
 
 } // namespace vans

@@ -7,26 +7,38 @@
  * (tick, insertion-order) order. Events scheduled for the same tick
  * therefore run in FIFO order, which keeps component handshakes
  * deterministic.
+ *
+ * The kernel is allocation-conscious: callbacks are InplaceCallback
+ * (typical captures stored inline, moved - never copied), and the
+ * ready structure is a binary min-heap of 24-byte POD keys whose
+ * callbacks live in a slab with a free list. Sifting the heap moves
+ * only the small keys; the callback itself is touched exactly twice
+ * (constructed on schedule, moved out on pop). Steady-state
+ * scheduling therefore performs no allocations at all once the slab
+ * and heap have grown to the peak pending depth, which suits the
+ * near-monotonic tick streams the iMC/DIMM pipeline produces.
  */
 
 #ifndef VANS_COMMON_EVENT_QUEUE_HH
 #define VANS_COMMON_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
+#include "common/inplace_function.hh"
 #include "common/types.hh"
 
 namespace vans
 {
 
+class StatGroup;
+
 /** A discrete-event queue with a global tick counter. */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InplaceCallback;
 
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
@@ -65,29 +77,71 @@ class EventQueue
     /** Total events executed since construction. */
     std::uint64_t executed() const { return numExecuted; }
 
+    /** Total events scheduled since construction. */
+    std::uint64_t scheduled() const { return nextSeq; }
+
+    /** Highest number of simultaneously pending events seen. */
+    std::size_t peakPending() const { return maxPending; }
+
+    /**
+     * Callbacks whose captures exceeded the inline buffer and
+     * spilled to the heap. Zero in a well-tuned simulator.
+     */
+    std::uint64_t heapCallbacks() const { return numHeapCallbacks; }
+
+    /** Export the kernel counters as scalars of @p stats. */
+    void statsInto(StatGroup &stats) const;
+
   private:
-    struct Entry
+    /**
+     * Heap key: everything the ordering needs, nothing else, so heap
+     * sifts move 24-byte PODs instead of whole closures. `slot`
+     * indexes the callback slab.
+     */
+    struct Key
     {
         Tick when;
         std::uint64_t seq;
-        Callback cb;
+        std::uint32_t slot;
     };
 
-    struct Later
+    /** True when @p a runs strictly before @p b. */
+    static bool
+    before(const Key &a, const Key &b)
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+        return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+    }
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    void siftUp(std::size_t i);
+
+    /** Callbacks per slab chunk (power of two). */
+    static constexpr std::uint32_t chunkShift = 7;
+    static constexpr std::uint32_t chunkSize = 1u << chunkShift;
+
+    /** The slab cell a key's slot refers to. */
+    Callback &
+    cell(std::uint32_t slot)
+    {
+        return chunks[slot >> chunkShift][slot & (chunkSize - 1)];
+    }
+
+    std::uint32_t acquireSlot();
+
+    std::vector<Key> heap;
+    /**
+     * Chunked callback slab: chunks never move, so cells stay valid
+     * across growth and an executing callback may safely schedule
+     * (which can grow the slab) without invalidating itself.
+     */
+    std::vector<std::unique_ptr<Callback[]>> chunks;
+    std::uint32_t slabSize = 0;
+    std::vector<std::uint32_t> freeSlots;
+
     Tick now = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t numExecuted = 0;
+    std::uint64_t numHeapCallbacks = 0;
+    std::size_t maxPending = 0;
 };
 
 } // namespace vans

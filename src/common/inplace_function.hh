@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Small-buffer-optimized move-only callable for the event kernel.
+ *
+ * std::function heap-allocates for any capture larger than (libstdc++)
+ * two pointers and copy-constructs the capture on every copy. Event
+ * callbacks in this simulator are almost always lambdas capturing a
+ * handful of pointers/references, are invoked exactly once, and never
+ * need to be copied. InplaceCallback exploits that profile: captures
+ * up to `inlineCapacity` bytes live inline in the object (no
+ * allocation on schedule), larger captures fall back to a single heap
+ * cell, and the type is move-only so the kernel can move callbacks
+ * out of its slab instead of copying them.
+ */
+
+#ifndef VANS_COMMON_INPLACE_FUNCTION_HH
+#define VANS_COMMON_INPLACE_FUNCTION_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace vans
+{
+
+/** Move-only `void()` callable with inline small-capture storage. */
+class InplaceCallback
+{
+  public:
+    /** Captures up to this many bytes are stored without allocating. */
+    static constexpr std::size_t inlineCapacity = 48;
+
+    InplaceCallback() noexcept = default;
+
+    template <typename F,
+              typename = std::enable_if_t<!std::is_same_v<
+                  std::decay_t<F>, InplaceCallback>>>
+    InplaceCallback(F &&f) // NOLINT: intentional implicit conversion
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(std::is_invocable_r_v<void, Fn &>,
+                      "InplaceCallback requires a void() callable");
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(storage))
+                Fn(std::forward<F>(f));
+            ops = &inlineOps<Fn>;
+        } else {
+            *reinterpret_cast<Fn **>(storage) =
+                new Fn(std::forward<F>(f));
+            ops = &heapOps<Fn>;
+        }
+    }
+
+    InplaceCallback(InplaceCallback &&other) noexcept
+    {
+        moveFrom(std::move(other));
+    }
+
+    InplaceCallback &
+    operator=(InplaceCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(std::move(other));
+        }
+        return *this;
+    }
+
+    InplaceCallback(const InplaceCallback &) = delete;
+    InplaceCallback &operator=(const InplaceCallback &) = delete;
+
+    ~InplaceCallback() { reset(); }
+
+    /** Invoke the stored callable (must be non-empty). */
+    void operator()() { ops->invoke(storage); }
+
+    explicit operator bool() const noexcept { return ops != nullptr; }
+
+    /** True when the capture spilled to the heap (kernel stat). */
+    bool
+    heapAllocated() const noexcept
+    {
+        return ops != nullptr && ops->onHeap;
+    }
+
+    /** Destroy the stored callable, leaving the object empty. */
+    void
+    reset() noexcept
+    {
+        if (ops) {
+            ops->destroy(storage);
+            ops = nullptr;
+        }
+    }
+
+    /** Compile-time check: does @p Fn avoid the heap fallback? */
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= inlineCapacity &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+  private:
+    /** Static per-type vtable: invoke / destroy / relocate. */
+    struct Ops
+    {
+        void (*invoke)(void *);
+        void (*destroy)(void *) noexcept;
+        void (*relocate)(void *dst, void *src) noexcept;
+        bool onHeap;
+    };
+
+    template <typename Fn>
+    static constexpr Ops inlineOps = {
+        [](void *s) { (*std::launder(reinterpret_cast<Fn *>(s)))(); },
+        [](void *s) noexcept {
+            std::launder(reinterpret_cast<Fn *>(s))->~Fn();
+        },
+        [](void *dst, void *src) noexcept {
+            Fn *f = std::launder(reinterpret_cast<Fn *>(src));
+            ::new (dst) Fn(std::move(*f));
+            f->~Fn();
+        },
+        false,
+    };
+
+    template <typename Fn>
+    static constexpr Ops heapOps = {
+        [](void *s) { (**reinterpret_cast<Fn **>(s))(); },
+        [](void *s) noexcept { delete *reinterpret_cast<Fn **>(s); },
+        [](void *dst, void *src) noexcept {
+            *reinterpret_cast<Fn **>(dst) =
+                *reinterpret_cast<Fn **>(src);
+        },
+        true,
+    };
+
+    void
+    moveFrom(InplaceCallback &&other) noexcept
+    {
+        if (other.ops) {
+            ops = other.ops;
+            ops->relocate(storage, other.storage);
+            other.ops = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char storage[inlineCapacity];
+    const Ops *ops = nullptr;
+};
+
+} // namespace vans
+
+#endif // VANS_COMMON_INPLACE_FUNCTION_HH

@@ -13,6 +13,8 @@
 #define VANS_COMMON_MEM_SYSTEM_HH
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 
 #include "common/event_queue.hh"
@@ -56,6 +58,16 @@ class MemorySystem
   private:
     std::uint64_t lastId = 0;
 };
+
+/**
+ * Builds a fresh memory system clocked by @p eq. Parallel sweeps
+ * clone one simulated machine per sweep point through a factory,
+ * so no simulated state crosses threads; the Driver& prober entry
+ * points remain for single-instance (hardware-like) targets that
+ * cannot be cloned.
+ */
+using SystemFactory =
+    std::function<std::unique_ptr<MemorySystem>(EventQueue &)>;
 
 } // namespace vans
 

@@ -1,0 +1,150 @@
+#include "common/parallel.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <utility>
+
+namespace vans
+{
+
+unsigned
+hardwareThreads()
+{
+    if (const char *env = std::getenv("VANS_THREADS")) {
+        long v = std::strtol(env, nullptr, 10);
+        return v >= 1 ? static_cast<unsigned>(v) : 1u;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? hw : 1u;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : numThreads(threads ? threads : hardwareThreads())
+{
+    workers.reserve(numThreads);
+    for (unsigned i = 0; i < numThreads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    taskReady.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        tasks.push_back(std::move(task));
+        ++inFlight;
+    }
+    taskReady.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    allDone.wait(lock, [this] { return inFlight == 0; });
+}
+
+namespace
+{
+/** Set while the current thread is a pool worker: nested
+ *  parallelFor calls degrade to inline execution instead of
+ *  deadlocking on their own pool. */
+thread_local bool insidePoolWorker = false;
+} // namespace
+
+void
+ThreadPool::workerLoop()
+{
+    insidePoolWorker = true;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            taskReady.wait(lock, [this] {
+                return stopping || !tasks.empty();
+            });
+            if (tasks.empty())
+                return; // stopping and drained
+            task = std::move(tasks.front());
+            tasks.pop_front();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            --inFlight;
+        }
+        allDone.notify_all();
+    }
+}
+
+ThreadPool &
+ThreadPool::shared()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+void
+parallelFor(std::size_t n,
+            const std::function<void(std::size_t)> &fn,
+            ThreadPool *pool)
+{
+    if (n == 0)
+        return;
+    if (insidePoolWorker) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    ThreadPool &p = pool ? *pool : ThreadPool::shared();
+    if (n == 1 || p.size() <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    // Work-stealing-by-counter: each worker task pulls the next
+    // un-started index until the range drains. Result ordering is
+    // the caller's concern (results indexed by i are deterministic
+    // regardless of which worker ran which i).
+    auto next = std::make_shared<std::atomic<std::size_t>>(0);
+    auto firstError = std::make_shared<std::atomic<bool>>(false);
+    auto error = std::make_shared<std::exception_ptr>();
+    auto errorMtx = std::make_shared<std::mutex>();
+
+    std::size_t lanes = std::min<std::size_t>(p.size(), n);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+        p.submit([&fn, n, next, firstError, error, errorMtx] {
+            for (;;) {
+                std::size_t i =
+                    next->fetch_add(1, std::memory_order_relaxed);
+                if (i >= n || firstError->load())
+                    return;
+                try {
+                    fn(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(*errorMtx);
+                    if (!firstError->exchange(true))
+                        *error = std::current_exception();
+                }
+            }
+        });
+    }
+    p.wait();
+    if (firstError->load())
+        std::rethrow_exception(*error);
+}
+
+} // namespace vans

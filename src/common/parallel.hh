@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Host-side parallelism for the simulator harness.
+ *
+ * Simulated time is inherently serial *within* one EventQueue, but
+ * characterization sweeps (Figs. 5-10, Table II) re-run the whole
+ * pipeline at dozens of independent configuration points. ThreadPool
+ * and parallelFor fan those points out across host cores; each point
+ * builds its own (EventQueue, MemorySystem, Driver) triple so no
+ * simulated state is ever shared between threads.
+ *
+ * Thread count resolution: the VANS_THREADS environment variable
+ * overrides std::thread::hardware_concurrency(). VANS_THREADS=1
+ * forces every parallelFor onto the calling thread, which is the
+ * reference execution the determinism tests compare against.
+ */
+
+#ifndef VANS_COMMON_PARALLEL_HH
+#define VANS_COMMON_PARALLEL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vans
+{
+
+/**
+ * Worker threads to use for sweep fan-out: VANS_THREADS if set
+ * (clamped to >= 1), otherwise the hardware concurrency.
+ */
+unsigned hardwareThreads();
+
+/** A fixed-size pool of worker threads draining a task queue. */
+class ThreadPool
+{
+  public:
+    /** @param threads Worker count; 0 means hardwareThreads(). */
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p task for execution on some worker. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+    unsigned size() const { return numThreads; }
+
+    /** Lazily constructed process-wide pool (hardwareThreads()). */
+    static ThreadPool &shared();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> tasks;
+    std::mutex mtx;
+    std::condition_variable taskReady;
+    std::condition_variable allDone;
+    std::size_t inFlight = 0;
+    bool stopping = false;
+    unsigned numThreads;
+};
+
+/**
+ * Run fn(i) for every i in [0, n). Iterations are distributed over
+ * @p pool (nullptr: the shared pool); with a single worker or n <= 1
+ * everything runs inline on the calling thread. Blocks until all
+ * iterations finished. The first exception thrown by an iteration is
+ * rethrown on the calling thread after the loop drains.
+ */
+void parallelFor(std::size_t n,
+                 const std::function<void(std::size_t)> &fn,
+                 ThreadPool *pool = nullptr);
+
+} // namespace vans
+
+#endif // VANS_COMMON_PARALLEL_HH

@@ -98,6 +98,25 @@ ptrChase(Driver &drv, const PtrChaseParams &p)
                                               done_lines);
     };
 
+    if (p.coverageWarm) {
+        // One touch per 4KB page the chase will visit, in address
+        // order; pages outside the sampled order stay cold (they
+        // cannot influence the measurement).
+        std::uint32_t stride =
+            std::max<std::uint32_t>(4096, p.blockBytes);
+        std::vector<Addr> touch;
+        touch.reserve(order.size());
+        for (Addr a : order)
+            touch.push_back(alignDown(a, stride));
+        std::sort(touch.begin(), touch.end());
+        touch.erase(std::unique(touch.begin(), touch.end()),
+                    touch.end());
+        if (p.writeMode)
+            drv.streamWrites(touch, 16);
+        else
+            drv.streamReads(touch, 16);
+    }
+
     std::uint64_t cursor = 0;
     run_phase(p.warmupLines, cursor);
     auto [elapsed, lines] = run_phase(p.measureLines, cursor);

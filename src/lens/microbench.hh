@@ -52,6 +52,16 @@ struct PtrChaseParams
     std::uint64_t warmupLines = 12000;
     std::uint64_t measureLines = 8000;
     std::uint64_t seed = 1;
+    /**
+     * Precede the warmup with one coarse touch of the whole region
+     * (one line per 4KB page). A machine that has been running a
+     * sweep for a while has its translation buffers populated with
+     * the region's pages; a freshly cloned per-point system has
+     * not. The coverage pass restores that steady-state residency,
+     * so isolated sweep points measure the same plateaus a warm
+     * sequential sweep does.
+     */
+    bool coverageWarm = false;
 };
 
 /** Run pointer chasing against @p drv's memory system. */

@@ -39,173 +39,154 @@ ampKnee(const Curve &score, double slack = 0.10)
     return static_cast<std::uint64_t>(score.points().back().x);
 }
 
-} // namespace
-
-BufferProbe
-runBufferProber(Driver &drv, const BufferProberParams &p)
+/** Build a fresh world from @p factory and run @p fn's measurements
+ *  in it. The world is torn down when the point finishes. */
+template <typename Fn>
+auto
+withFreshSystem(const SystemFactory &factory, Fn &&fn)
 {
-    BufferProbe out;
+    EventQueue eq;
+    auto sys = factory(eq);
+    Driver drv(*sys);
+    return fn(drv);
+}
 
-    auto sweep = logSweep(p.minRegion, p.maxRegion);
+// ---- Per-point measurement bodies ---------------------------------
+//
+// Each function below is one self-contained sweep point, shared by
+// the serial (one warm driver, points in order) and parallel (fresh
+// system per point) prober paths, so the two paths cannot drift.
 
-    // ---- Capacity detection: latency-mode pointer chasing -------
-    for (std::uint64_t region : sweep) {
-        PtrChaseParams pc;
-        pc.base = p.base;
-        pc.regionBytes = region;
-        pc.blockBytes = 64;
-        pc.warmupLines = p.warmupLines;
-        pc.measureLines = p.measureLines;
-        pc.seed = region;
-        auto ld = ptrChase(drv, pc);
-        out.loadCurve.add(static_cast<double>(region), ld.nsPerLine);
+/** One latency-sweep point: dependent-load and store ns/CL. */
+struct LatPoint
+{
+    double ld = 0;
+    double st = 0;
+};
 
-        pc.writeMode = true;
-        auto st = ptrChase(drv, pc);
-        out.storeCurve.add(static_cast<double>(region), st.nsPerLine);
-        drv.fence();
-    }
-
-    // 256B-block variant (Fig 5b): same sweep from 256B up.
-    for (std::uint64_t region : sweep) {
-        if (region < 256)
-            continue;
-        PtrChaseParams pc;
-        pc.base = p.base;
-        pc.regionBytes = region;
-        pc.blockBytes = 256;
-        pc.warmupLines = p.warmupLines;
-        pc.measureLines = p.measureLines;
-        pc.seed = region + 7;
-        auto ld = ptrChase(drv, pc);
-        out.load256Curve.add(static_cast<double>(region),
-                             ld.nsPerLine);
-        pc.writeMode = true;
-        auto st = ptrChase(drv, pc);
-        out.store256Curve.add(static_cast<double>(region),
-                              st.nsPerLine);
-        drv.fence();
-    }
-
-    auto rd_infl = out.loadCurve.findInflections(p.inflectionThreshold);
-    auto wr_infl =
-        out.storeCurve.findInflections(p.inflectionThreshold);
-    for (double x : rd_infl)
-        out.readBufferCapacities.push_back(roundPow2(x));
-    for (double x : wr_infl)
-        out.writeQueueCapacities.push_back(roundPow2(x));
-    out.levelLatenciesNs = out.loadCurve.segmentLevels(rd_infl);
-
-    std::uint64_t cap_l1 = out.readBufferCapacities.empty()
-                               ? (16ull << 10)
-                               : out.readBufferCapacities.front();
-    std::uint64_t cap_l2 = out.readBufferCapacities.size() > 1
-                               ? out.readBufferCapacities[1]
-                               : (16ull << 20);
-
-    // ---- RaW hierarchy test (Fig 5c) ------------------------------
-    for (std::uint64_t region : sweep) {
-        if (region > (cap_l2 * 4) || region < 64)
-            continue;
-        auto raw = readAfterWrite(drv, p.base, region, 64, region);
-        double sum =
-            out.loadCurve.valueAt(static_cast<double>(region)) +
-            out.storeCurve.valueAt(static_cast<double>(region));
-        out.rawCurve.add(static_cast<double>(region),
-                         raw.rawNsPerLine);
-        out.rwSumCurve.add(static_cast<double>(region), sum);
-        drv.fence();
-    }
-    // Inclusive if there is no parallel-fast-forward speedup at the
-    // L2 working set: RaW stays at or above the independent R+W sum.
-    double raw_l2 = out.rawCurve.valueAt(
-        static_cast<double>(cap_l2) / 2.0);
-    double sum_l2 = out.rwSumCurve.valueAt(
-        static_cast<double>(cap_l2) / 2.0);
-    out.inclusiveHierarchy = raw_l2 >= 0.85 * sum_l2;
-
-    // ---- Read amplification (Fig 6a): bandwidth-mode chasing ----
-    std::vector<std::uint64_t> block_sweep = {64,  128,  256, 512,
-                                              1024, 2048, 4096};
-    auto amp_point = [&](std::uint64_t fit_region,
-                         std::uint64_t ov_region,
-                         std::uint64_t block) {
-        PtrChaseParams pc;
-        pc.base = p.base;
-        pc.blockBytes = static_cast<std::uint32_t>(block);
-        pc.mlp = 8;
-        pc.warmupLines = 6000;
-        pc.measureLines = 4000;
-        pc.regionBytes = fit_region;
-        pc.seed = block;
-        double fit = ptrChase(drv, pc).nsPerLine;
-        pc.regionBytes = ov_region;
-        double ov = ptrChase(drv, pc).nsPerLine;
-        return fit > 0 ? ov / fit : 0.0;
-    };
-
-    for (std::uint64_t block : block_sweep) {
-        double s1 = amp_point(cap_l1 / 2,
-                              std::min(cap_l1 * 4, cap_l2 / 4), block);
-        out.readAmpL1.add(static_cast<double>(block), s1);
-        double s2 = amp_point(cap_l2 / 2, cap_l2 * 4, block);
-        out.readAmpL2.add(static_cast<double>(block), s2);
-    }
-    out.readEntrySizeL1 = ampKnee(out.readAmpL1);
-    out.readEntrySizeL2 = ampKnee(out.readAmpL2);
-
-    // ---- Write amplification (Fig 6b): fence-per-block variant --
-    std::uint64_t wq_l1 = out.writeQueueCapacities.empty()
-                              ? 512
-                              : out.writeQueueCapacities.front();
-    std::uint64_t wq_l2 = out.writeQueueCapacities.size() > 1
-                              ? out.writeQueueCapacities[1]
-                              : (4ull << 10);
-    auto wamp_point = [&](std::uint64_t fit_region,
-                          std::uint64_t ov_region,
-                          std::uint64_t block) {
-        auto run = [&](std::uint64_t region) {
-            auto order = chaseOrder(p.base, region,
-                                    static_cast<std::uint32_t>(block),
-                                    512, block + region);
-            // Warm.
-            for (std::size_t i = 0; i < order.size() / 2; ++i)
-                drv.writeBlock(order[i],
-                               static_cast<std::uint32_t>(block));
-            drv.fence();
-            Tick start = drv.now();
-            std::uint64_t lines = 0;
-            for (Addr a : order) {
-                drv.writeBlock(a, static_cast<std::uint32_t>(block));
-                drv.fence();
-                lines += block / cacheLineSize;
-            }
-            return ticksToNs(drv.now() - start) /
-                   static_cast<double>(lines);
-        };
-        double fit = run(fit_region);
-        double ov = run(ov_region);
-        return fit > 0 ? ov / fit : 0.0;
-    };
-
-    for (std::uint64_t block : block_sweep) {
-        if (block > wq_l2)
-            continue;
-        double s1 = wamp_point(wq_l1 / 2, wq_l1 * 4, block);
-        out.writeAmpWpq.add(static_cast<double>(block), s1);
-        double s2 = wamp_point(wq_l2 / 2, wq_l2 * 4, block);
-        out.writeAmpLsq.add(static_cast<double>(block), s2);
-    }
-
+LatPoint
+latencyPoint(Driver &drv, const BufferProberParams &p,
+             std::uint64_t region, std::uint32_t block,
+             std::uint64_t seed, bool coverage_warm = false)
+{
+    PtrChaseParams pc;
+    pc.base = p.base;
+    pc.regionBytes = region;
+    pc.blockBytes = block;
+    pc.warmupLines = p.warmupLines;
+    pc.measureLines = p.measureLines;
+    pc.seed = seed;
+    pc.coverageWarm = coverage_warm;
+    LatPoint out;
+    out.ld = ptrChase(drv, pc).nsPerLine;
+    pc.writeMode = true;
+    out.st = ptrChase(drv, pc).nsPerLine;
+    drv.fence();
     return out;
 }
 
-PolicyProbe
-runPolicyProber(Driver &drv, const PolicyProberParams &p)
+/** One RaW point: read-after-write roundtrip ns/CL. */
+double
+rawPoint(Driver &drv, Addr base, std::uint64_t region)
 {
-    PolicyProbe out;
+    auto raw = readAfterWrite(drv, base, region, 64, region);
+    drv.fence();
+    return raw.rawNsPerLine;
+}
 
-    // ---- Migration latency and frequency (Fig 7b) ----------------
+/** One read-amplification point: overflow/fit latency ratio. */
+double
+readAmpPoint(Driver &drv, Addr base, std::uint64_t fit_region,
+             std::uint64_t ov_region, std::uint64_t block,
+             bool coverage_warm = false)
+{
+    PtrChaseParams pc;
+    pc.base = base;
+    pc.blockBytes = static_cast<std::uint32_t>(block);
+    pc.mlp = 8;
+    pc.warmupLines = 6000;
+    pc.measureLines = 4000;
+    // Warm the fit run only: a fitting region is resident at steady
+    // state, while the overflow run's misses ARE the signal.
+    pc.coverageWarm = coverage_warm;
+    pc.regionBytes = fit_region;
+    pc.seed = block;
+    double fit = ptrChase(drv, pc).nsPerLine;
+    pc.coverageWarm = false;
+    pc.regionBytes = ov_region;
+    double ov = ptrChase(drv, pc).nsPerLine;
+    return fit > 0 ? ov / fit : 0.0;
+}
+
+/** One write-amplification point (fence-per-block variant). */
+double
+writeAmpPoint(Driver &drv, Addr base, std::uint64_t fit_region,
+              std::uint64_t ov_region, std::uint64_t block,
+              bool coverage_warm = false)
+{
+    auto run = [&](std::uint64_t region, bool read_warm) {
+        auto order = chaseOrder(base, region,
+                                static_cast<std::uint32_t>(block),
+                                512, block + region);
+        if (read_warm) {
+            // A fitting region is resident in the combining buffers
+            // at steady state, so sub-granule stores hit instead of
+            // paying a media read-modify-write. Populate them with a
+            // read pass; the overflow run stays cold -- its RMWs are
+            // the amplification signal.
+            for (Addr a : order)
+                drv.readBlock(a, static_cast<std::uint32_t>(block));
+            drv.fence();
+        }
+        // Warm.
+        for (std::size_t i = 0; i < order.size() / 2; ++i)
+            drv.writeBlock(order[i],
+                           static_cast<std::uint32_t>(block));
+        drv.fence();
+        Tick start = drv.now();
+        std::uint64_t lines = 0;
+        for (Addr a : order) {
+            drv.writeBlock(a, static_cast<std::uint32_t>(block));
+            drv.fence();
+            lines += block / cacheLineSize;
+        }
+        return ticksToNs(drv.now() - start) /
+               static_cast<double>(lines);
+    };
+    double fit = run(fit_region, coverage_warm);
+    double ov = run(ov_region, false);
+    return fit > 0 ? ov / fit : 0.0;
+}
+
+/** One wear-granularity point (Fig 7c): tails per kilo-write. */
+double
+tailRatioPoint(Driver &drv, const PolicyProberParams &p,
+               std::uint64_t region, std::size_t point)
+{
+    // Offset the base so power-of-two regions straddle wear blocks
+    // the way an arbitrary software allocation would.
+    Addr base = p.base + (1ull << 30) +
+                (static_cast<Addr>(point) << 26) + (32ull << 10);
+    std::uint64_t iters =
+        std::max<std::uint64_t>(p.tailSweepBytes / region, 4);
+    auto sweep_ow = overwrite(drv, base, region, iters);
+    std::uint64_t tails = 0;
+    for (double v : sweep_ow.iterationNs) {
+        if (v > p.tailThreshold * sweep_ow.medianNs)
+            ++tails;
+    }
+    std::uint64_t writes_256 =
+        iters * std::max<std::uint64_t>(region / 256, 1);
+    return writes_256 ? static_cast<double>(tails) * 1000.0 /
+                            static_cast<double>(writes_256)
+                      : 0;
+}
+
+/** Migration latency/frequency analysis on the overwrite series. */
+void
+analyzeOverwriteTail(Driver &drv, const PolicyProberParams &p,
+                     PolicyProbe &out)
+{
     auto ow = overwrite(drv, p.base, 256, p.overwriteIterations);
     out.overwriteIterationNs = ow.iterationNs;
     out.normalWriteNs = ow.medianNs;
@@ -230,38 +211,345 @@ runPolicyProber(Driver &drv, const PolicyProberParams &p)
                 interval_sum / static_cast<double>(tail_idx.size() - 1);
         }
     }
+}
+
+/** Sequential-write execution time in us (interleave detector). */
+double
+seqWritePoint(Driver &d, std::uint64_t bytes)
+{
+    // Deep store buffer so a fresh DIMM's WPQ can absorb a burst
+    // while the previous DIMM is still draining -- the overlap that
+    // makes interleaving visible to single-thread sequential writes.
+    std::vector<Addr> addrs;
+    for (Addr a = 0; a < bytes; a += cacheLineSize)
+        addrs.push_back(a);
+    Tick t = d.streamWrites(addrs, 32, 3.0);
+    d.fence();
+    return ticksToNs(t) / 1000.0; // us
+}
+
+// ---- Analysis shared by the serial and parallel paths -------------
+
+/** Fill capacities/latencies/entry sizes from the collected curves. */
+void
+finishBufferAnalysis(BufferProbe &out, const BufferProberParams &p)
+{
+    auto rd_infl = out.loadCurve.findInflections(p.inflectionThreshold);
+    auto wr_infl =
+        out.storeCurve.findInflections(p.inflectionThreshold);
+    for (double x : rd_infl)
+        out.readBufferCapacities.push_back(roundPow2(x));
+    for (double x : wr_infl)
+        out.writeQueueCapacities.push_back(roundPow2(x));
+    out.levelLatenciesNs = out.loadCurve.segmentLevels(rd_infl);
+}
+
+/** Inclusive if there is no parallel-fast-forward speedup at the
+ *  L2 working set: RaW stays at or above the independent R+W sum. */
+void
+finishRawAnalysis(BufferProbe &out, std::uint64_t cap_l2)
+{
+    double raw_l2 = out.rawCurve.valueAt(
+        static_cast<double>(cap_l2) / 2.0);
+    double sum_l2 = out.rwSumCurve.valueAt(
+        static_cast<double>(cap_l2) / 2.0);
+    out.inclusiveHierarchy = raw_l2 >= 0.85 * sum_l2;
+}
+
+/** Detected L1/L2 read capacities with the standard fallbacks. */
+std::pair<std::uint64_t, std::uint64_t>
+readCaps(const BufferProbe &out)
+{
+    std::uint64_t cap_l1 = out.readBufferCapacities.empty()
+                               ? (16ull << 10)
+                               : out.readBufferCapacities.front();
+    std::uint64_t cap_l2 = out.readBufferCapacities.size() > 1
+                               ? out.readBufferCapacities[1]
+                               : (16ull << 20);
+    return {cap_l1, cap_l2};
+}
+
+/** Detected L1/L2 write-queue capacities with fallbacks. */
+std::pair<std::uint64_t, std::uint64_t>
+writeCaps(const BufferProbe &out)
+{
+    std::uint64_t wq_l1 = out.writeQueueCapacities.empty()
+                              ? 512
+                              : out.writeQueueCapacities.front();
+    std::uint64_t wq_l2 = out.writeQueueCapacities.size() > 1
+                              ? out.writeQueueCapacities[1]
+                              : (4ull << 10);
+    return {wq_l1, wq_l2};
+}
+
+/** Scan the collected tail ratios for the wear-block collapse. */
+void
+finishTailAnalysis(PolicyProbe &out)
+{
+    double first_ratio = -1;
+    for (const auto &pt : out.tailRatioCurve.points()) {
+        if (first_ratio < 0)
+            first_ratio = pt.y;
+        if (out.wearBlockSize == 0 && first_ratio > 0 &&
+            pt.y < 0.2 * first_ratio) {
+            out.wearBlockSize = static_cast<std::uint64_t>(pt.x);
+        }
+    }
+}
+
+/** The largest block written to a single DIMM before striping
+ *  helps is the interleave granularity. */
+void
+finishInterleaveAnalysis(PolicyProbe &out)
+{
+    std::uint64_t divergence = 0;
+    for (std::size_t i = 0; i < out.seqWriteSingle.size(); ++i) {
+        double t_int = out.seqWriteInterleaved[i].y;
+        double t_one = out.seqWriteSingle[i].y;
+        if (divergence == 0 && t_one > 1.15 * t_int)
+            divergence =
+                static_cast<std::uint64_t>(out.seqWriteSingle[i].x);
+    }
+    if (divergence > 512)
+        out.interleaveGranularity = roundPow2(
+            static_cast<double>(divergence - 512));
+}
+
+constexpr std::uint64_t ampBlockSweep[] = {64,   128,  256, 512,
+                                           1024, 2048, 4096};
+
+} // namespace
+
+BufferProbe
+runBufferProber(Driver &drv, const BufferProberParams &p)
+{
+    BufferProbe out;
+
+    auto sweep = logSweep(p.minRegion, p.maxRegion);
+
+    // ---- Capacity detection: latency-mode pointer chasing -------
+    for (std::uint64_t region : sweep) {
+        auto pt = latencyPoint(drv, p, region, 64, region);
+        out.loadCurve.add(static_cast<double>(region), pt.ld);
+        out.storeCurve.add(static_cast<double>(region), pt.st);
+    }
+
+    // 256B-block variant (Fig 5b): same sweep from 256B up.
+    for (std::uint64_t region : sweep) {
+        if (region < 256)
+            continue;
+        auto pt = latencyPoint(drv, p, region, 256, region + 7);
+        out.load256Curve.add(static_cast<double>(region), pt.ld);
+        out.store256Curve.add(static_cast<double>(region), pt.st);
+    }
+
+    finishBufferAnalysis(out, p);
+    auto [cap_l1, cap_l2] = readCaps(out);
+
+    // ---- RaW hierarchy test (Fig 5c) ------------------------------
+    for (std::uint64_t region : sweep) {
+        if (region > (cap_l2 * 4) || region < 64)
+            continue;
+        double raw_ns = rawPoint(drv, p.base, region);
+        double sum =
+            out.loadCurve.valueAt(static_cast<double>(region)) +
+            out.storeCurve.valueAt(static_cast<double>(region));
+        out.rawCurve.add(static_cast<double>(region), raw_ns);
+        out.rwSumCurve.add(static_cast<double>(region), sum);
+    }
+    finishRawAnalysis(out, cap_l2);
+
+    // ---- Read amplification (Fig 6a): bandwidth-mode chasing ----
+    for (std::uint64_t block : ampBlockSweep) {
+        double s1 = readAmpPoint(drv, p.base, cap_l1 / 2,
+                                 std::min(cap_l1 * 4, cap_l2 / 4),
+                                 block);
+        out.readAmpL1.add(static_cast<double>(block), s1);
+        double s2 = readAmpPoint(drv, p.base, cap_l2 / 2, cap_l2 * 4,
+                                 block);
+        out.readAmpL2.add(static_cast<double>(block), s2);
+    }
+    out.readEntrySizeL1 = ampKnee(out.readAmpL1);
+    out.readEntrySizeL2 = ampKnee(out.readAmpL2);
+
+    // ---- Write amplification (Fig 6b): fence-per-block variant --
+    auto [wq_l1, wq_l2] = writeCaps(out);
+    for (std::uint64_t block : ampBlockSweep) {
+        if (block > wq_l2)
+            continue;
+        double s1 =
+            writeAmpPoint(drv, p.base, wq_l1 / 2, wq_l1 * 4, block);
+        out.writeAmpWpq.add(static_cast<double>(block), s1);
+        double s2 =
+            writeAmpPoint(drv, p.base, wq_l2 / 2, wq_l2 * 4, block);
+        out.writeAmpLsq.add(static_cast<double>(block), s2);
+    }
+
+    return out;
+}
+
+BufferProbe
+runBufferProber(const SystemFactory &factory,
+                const BufferProberParams &p, const SweepRunner &sweep)
+{
+    BufferProbe out;
+
+    auto regions = logSweep(p.minRegion, p.maxRegion);
+
+    // ---- Stage 1: both latency sweeps as one flat point batch ----
+    struct LatDesc
+    {
+        std::uint64_t region;
+        std::uint32_t block;
+        std::uint64_t seed;
+    };
+    std::vector<LatDesc> lat;
+    for (std::uint64_t region : regions)
+        lat.push_back({region, 64, region});
+    for (std::uint64_t region : regions) {
+        if (region >= 256)
+            lat.push_back({region, 256, region + 7});
+    }
+
+    auto lat_res = sweep.map<LatPoint>(
+        lat.size(), [&](std::size_t i) {
+            return withFreshSystem(factory, [&](Driver &drv) {
+                // coverageWarm: a cloned point starts cold; restore
+                // the residency a long-running sweep would have.
+                return latencyPoint(drv, p, lat[i].region,
+                                    lat[i].block, lat[i].seed, true);
+            });
+        });
+    for (std::size_t i = 0; i < lat.size(); ++i) {
+        double x = static_cast<double>(lat[i].region);
+        if (lat[i].block == 64) {
+            out.loadCurve.add(x, lat_res[i].ld);
+            out.storeCurve.add(x, lat_res[i].st);
+        } else {
+            out.load256Curve.add(x, lat_res[i].ld);
+            out.store256Curve.add(x, lat_res[i].st);
+        }
+    }
+
+    finishBufferAnalysis(out, p);
+    auto [cap_l1, cap_l2] = readCaps(out);
+
+    // ---- Stage 2: RaW sweep (needs cap_l2 from stage 1) ----------
+    std::vector<std::uint64_t> raw_regions;
+    for (std::uint64_t region : regions) {
+        if (region <= (cap_l2 * 4) && region >= 64)
+            raw_regions.push_back(region);
+    }
+    auto raw_res = sweep.map<double>(
+        raw_regions.size(), [&](std::size_t i) {
+            return withFreshSystem(factory, [&](Driver &drv) {
+                return rawPoint(drv, p.base, raw_regions[i]);
+            });
+        });
+    for (std::size_t i = 0; i < raw_regions.size(); ++i) {
+        double x = static_cast<double>(raw_regions[i]);
+        out.rawCurve.add(x, raw_res[i]);
+        out.rwSumCurve.add(x, out.loadCurve.valueAt(x) +
+                                  out.storeCurve.valueAt(x));
+    }
+    finishRawAnalysis(out, cap_l2);
+
+    // ---- Stage 3: read + write amplification points --------------
+    auto [wq_l1, wq_l2] = writeCaps(out);
+    struct AmpDesc
+    {
+        bool write;
+        bool level2;
+        std::uint64_t block;
+    };
+    std::vector<AmpDesc> amps;
+    for (std::uint64_t block : ampBlockSweep) {
+        amps.push_back({false, false, block});
+        amps.push_back({false, true, block});
+    }
+    for (std::uint64_t block : ampBlockSweep) {
+        if (block <= wq_l2) {
+            amps.push_back({true, false, block});
+            amps.push_back({true, true, block});
+        }
+    }
+    auto amp_res = sweep.map<double>(
+        amps.size(), [&, cl1 = cap_l1, cl2 = cap_l2, wl1 = wq_l1,
+                      wl2 = wq_l2](std::size_t i) {
+            const AmpDesc &d = amps[i];
+            return withFreshSystem(factory, [&](Driver &drv) {
+                if (d.write) {
+                    std::uint64_t fit = d.level2 ? wl2 / 2 : wl1 / 2;
+                    std::uint64_t ov = d.level2 ? wl2 * 4 : wl1 * 4;
+                    return writeAmpPoint(drv, p.base, fit, ov,
+                                         d.block, true);
+                }
+                std::uint64_t fit = d.level2 ? cl2 / 2 : cl1 / 2;
+                std::uint64_t ov =
+                    d.level2 ? cl2 * 4 : std::min(cl1 * 4, cl2 / 4);
+                return readAmpPoint(drv, p.base, fit, ov, d.block,
+                                    true);
+            });
+        });
+    for (std::size_t i = 0; i < amps.size(); ++i) {
+        const AmpDesc &d = amps[i];
+        double x = static_cast<double>(d.block);
+        Curve &c = d.write ? (d.level2 ? out.writeAmpLsq
+                                       : out.writeAmpWpq)
+                           : (d.level2 ? out.readAmpL2
+                                       : out.readAmpL1);
+        c.add(x, amp_res[i]);
+    }
+    out.readEntrySizeL1 = ampKnee(out.readAmpL1);
+    out.readEntrySizeL2 = ampKnee(out.readAmpL2);
+
+    return out;
+}
+
+PolicyProbe
+runPolicyProber(Driver &drv, const PolicyProberParams &p)
+{
+    PolicyProbe out;
+
+    // ---- Migration latency and frequency (Fig 7b) ----------------
+    analyzeOverwriteTail(drv, p, out);
 
     // ---- Wear granularity (Fig 7c) --------------------------------
-    // Offset the base so power-of-two regions straddle wear blocks
-    // the way an arbitrary software allocation would.
     std::size_t point = 0;
-    double first_ratio = -1;
     for (std::uint64_t region : p.tailRegions) {
-        Addr base = p.base + (1ull << 30) +
-                    (static_cast<Addr>(point) << 26) + (32ull << 10);
-        std::uint64_t iters =
-            std::max<std::uint64_t>(p.tailSweepBytes / region, 4);
-        auto sweep_ow = overwrite(drv, base, region, iters);
-        std::uint64_t tails = 0;
-        for (double v : sweep_ow.iterationNs) {
-            if (v > p.tailThreshold * sweep_ow.medianNs)
-                ++tails;
-        }
-        std::uint64_t writes_256 =
-            iters * std::max<std::uint64_t>(region / 256, 1);
-        double ratio = writes_256
-                           ? static_cast<double>(tails) * 1000.0 /
-                                 static_cast<double>(writes_256)
-                           : 0;
+        double ratio = tailRatioPoint(drv, p, region, point);
         out.tailRatioCurve.add(static_cast<double>(region), ratio);
-        if (first_ratio < 0)
-            first_ratio = ratio;
-        if (out.wearBlockSize == 0 && first_ratio > 0 &&
-            ratio < 0.2 * first_ratio) {
-            out.wearBlockSize = region;
-        }
         ++point;
     }
+    finishTailAnalysis(out);
+
+    return out;
+}
+
+PolicyProbe
+runPolicyProber(const SystemFactory &factory,
+                const PolicyProberParams &p, const SweepRunner &sweep)
+{
+    PolicyProbe out;
+
+    // The overwrite series is one long dependent run; the region
+    // sweep fans out. Run the former as point 0 alongside the sweep.
+    auto ratios = sweep.map<double>(
+        p.tailRegions.size() + 1, [&](std::size_t i) {
+            return withFreshSystem(factory, [&](Driver &drv) {
+                if (i == 0) {
+                    analyzeOverwriteTail(drv, p, out);
+                    return 0.0;
+                }
+                return tailRatioPoint(drv, p, p.tailRegions[i - 1],
+                                      i - 1);
+            });
+        });
+    for (std::size_t i = 0; i < p.tailRegions.size(); ++i) {
+        out.tailRatioCurve.add(static_cast<double>(p.tailRegions[i]),
+                               ratios[i + 1]);
+    }
+    finishTailAnalysis(out);
 
     return out;
 }
@@ -270,32 +558,48 @@ void
 runInterleaveProbe(Driver &interleaved, Driver &single,
                    PolicyProbe &out, std::uint64_t max_bytes)
 {
-    // Deep store buffer so a fresh DIMM's WPQ can absorb a burst
-    // while the previous DIMM is still draining -- the overlap that
-    // makes interleaving visible to single-thread sequential writes.
-    auto measure = [](Driver &d, std::uint64_t bytes) {
-        std::vector<Addr> addrs;
-        for (Addr a = 0; a < bytes; a += cacheLineSize)
-            addrs.push_back(a);
-        Tick t = d.streamWrites(addrs, 32, 3.0);
-        d.fence();
-        return ticksToNs(t) / 1000.0; // us
-    };
-
-    std::uint64_t divergence = 0;
     for (std::uint64_t bytes = 512; bytes <= max_bytes; bytes += 512) {
-        double t_int = measure(interleaved, bytes);
-        double t_one = measure(single, bytes);
+        double t_int = seqWritePoint(interleaved, bytes);
+        double t_one = seqWritePoint(single, bytes);
         out.seqWriteInterleaved.add(static_cast<double>(bytes), t_int);
         out.seqWriteSingle.add(static_cast<double>(bytes), t_one);
-        if (divergence == 0 && t_one > 1.15 * t_int)
-            divergence = bytes;
     }
-    // The largest block written to a single DIMM before striping
-    // helps is the interleave granularity.
-    if (divergence > 512)
-        out.interleaveGranularity = roundPow2(
-            static_cast<double>(divergence - 512));
+    finishInterleaveAnalysis(out);
+}
+
+void
+runInterleaveProbe(const SystemFactory &interleavedFactory,
+                   const SystemFactory &singleFactory,
+                   PolicyProbe &out, std::uint64_t max_bytes,
+                   const SweepRunner &sweep)
+{
+    std::vector<std::uint64_t> sizes;
+    for (std::uint64_t bytes = 512; bytes <= max_bytes; bytes += 512)
+        sizes.push_back(bytes);
+
+    struct Pair
+    {
+        double interleaved = 0;
+        double single = 0;
+    };
+    auto res = sweep.map<Pair>(sizes.size(), [&](std::size_t i) {
+        Pair pt;
+        pt.interleaved =
+            withFreshSystem(interleavedFactory, [&](Driver &d) {
+                return seqWritePoint(d, sizes[i]);
+            });
+        pt.single = withFreshSystem(singleFactory, [&](Driver &d) {
+            return seqWritePoint(d, sizes[i]);
+        });
+        return pt;
+    });
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        out.seqWriteInterleaved.add(static_cast<double>(sizes[i]),
+                                    res[i].interleaved);
+        out.seqWriteSingle.add(static_cast<double>(sizes[i]),
+                               res[i].single);
+    }
+    finishInterleaveAnalysis(out);
 }
 
 PerfProbe

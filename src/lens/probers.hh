@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "common/curve.hh"
+#include "common/mem_system.hh"
+#include "common/sweep.hh"
 #include "lens/driver.hh"
 #include "lens/microbench.hh"
 
@@ -62,6 +64,18 @@ struct BufferProberParams
 /** Runs the buffer-capacity / entry-size / hierarchy analysis. */
 BufferProbe runBufferProber(Driver &drv, const BufferProberParams &p);
 
+/**
+ * Parallel variant: every sweep point runs against a fresh system
+ * built by @p factory, fanned out by @p sweep. Results are collected
+ * in point order and are bit-identical whatever the thread count
+ * (SweepRunner(1) is the serial reference). Only usable against
+ * simulated systems that can be cloned; the Driver& overload remains
+ * for single-instance (hardware-like) targets.
+ */
+BufferProbe runBufferProber(const SystemFactory &factory,
+                            const BufferProberParams &p,
+                            const SweepRunner &sweep = SweepRunner{});
+
 /** Everything the policy prober reverse engineers. */
 struct PolicyProbe
 {
@@ -96,6 +110,11 @@ struct PolicyProberParams
  */
 PolicyProbe runPolicyProber(Driver &drv, const PolicyProberParams &p);
 
+/** Parallel variant; see the BufferProbe factory overload. */
+PolicyProbe runPolicyProber(const SystemFactory &factory,
+                            const PolicyProberParams &p,
+                            const SweepRunner &sweep = SweepRunner{});
+
 /**
  * Interleave detector: measures sequential-write execution time vs
  * size on both systems and reports the granularity (paper Fig 7a).
@@ -104,6 +123,13 @@ PolicyProbe runPolicyProber(Driver &drv, const PolicyProberParams &p);
 void runInterleaveProbe(Driver &interleaved, Driver &single,
                         PolicyProbe &out,
                         std::uint64_t max_bytes = 16384);
+
+/** Parallel variant: fresh interleaved + single systems per point. */
+void runInterleaveProbe(const SystemFactory &interleavedFactory,
+                        const SystemFactory &singleFactory,
+                        PolicyProbe &out,
+                        std::uint64_t max_bytes = 16384,
+                        const SweepRunner &sweep = SweepRunner{});
 
 /** Performance prober output: per-level bandwidth and latency. */
 struct PerfProbe

@@ -21,6 +21,26 @@ runLens(Driver &drv, const LensParams &params)
     return rep;
 }
 
+LensReport
+runLens(const SystemFactory &factory, const LensParams &params,
+        const SweepRunner &sweep)
+{
+    LensReport rep;
+    rep.buffers = runBufferProber(factory, params.buffer, sweep);
+    if (params.runPolicy)
+        rep.policy = runPolicyProber(factory, params.policy, sweep);
+
+    EventQueue eq;
+    auto sys = factory(eq);
+    rep.systemName = sys->name();
+    if (params.runPerf) {
+        Driver drv(*sys);
+        rep.perf = runPerfProber(drv, rep.buffers,
+                                 params.buffer.base);
+    }
+    return rep;
+}
+
 std::string
 LensReport::summary() const
 {

@@ -39,6 +39,16 @@ struct LensParams
 /** Run every prober against @p drv's memory system. */
 LensReport runLens(Driver &drv, const LensParams &params = {});
 
+/**
+ * Parallel variant: probers fan their sweep points out across
+ * @p sweep, one fresh factory-built system per point. Only valid
+ * for cloneable (simulated) targets; results are bit-identical for
+ * any thread count.
+ */
+LensReport runLens(const SystemFactory &factory,
+                   const LensParams &params = {},
+                   const SweepRunner &sweep = SweepRunner{});
+
 } // namespace vans::lens
 
 #endif // VANS_LENS_REPORT_HH

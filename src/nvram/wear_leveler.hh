@@ -23,6 +23,7 @@
 #define VANS_NVRAM_WEAR_LEVELER_HH
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 
 #include "common/event_queue.hh"

@@ -6,10 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "common/ascii_chart.hh"
 #include "common/config.hh"
 #include "common/curve.hh"
 #include "common/event_queue.hh"
+#include "common/inplace_function.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "nvram/nvram_config.hh"
@@ -81,6 +84,105 @@ TEST(EventQueue, StepCountsExecutions)
     EXPECT_TRUE(eq.step());
     EXPECT_FALSE(eq.step());
     EXPECT_EQ(eq.executed(), 2u);
+}
+
+TEST(EventQueue, RunUntilFiresEventExactlyAtLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(50, [&] { ++fired; });
+    eq.schedule(51, [&] { ++fired; });
+    eq.runUntil(50);
+    EXPECT_EQ(fired, 1) << "event at the limit tick must fire";
+    EXPECT_EQ(eq.curTick(), 50u);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, KernelCountersTrackLoad)
+{
+    EventQueue eq;
+    for (Tick t = 1; t <= 10; ++t)
+        eq.schedule(t, [] {});
+    EXPECT_EQ(eq.scheduled(), 10u);
+    EXPECT_EQ(eq.peakPending(), 10u);
+    EXPECT_EQ(eq.heapCallbacks(), 0u)
+        << "small captures must not allocate";
+    eq.run();
+    EXPECT_EQ(eq.executed(), 10u);
+    EXPECT_EQ(eq.peakPending(), 10u);
+
+    struct Big
+    {
+        char blob[2 * InplaceCallback::inlineCapacity] = {};
+    } big;
+    eq.schedule(eq.curTick() + 1, [big] { (void)big; });
+    EXPECT_EQ(eq.heapCallbacks(), 1u);
+    eq.run();
+
+    StatGroup sg("kernel");
+    eq.statsInto(sg);
+    EXPECT_EQ(sg.scalarValue("events_scheduled"), 11u);
+    EXPECT_EQ(sg.scalarValue("events_executed"), 11u);
+    EXPECT_EQ(sg.scalarValue("peak_pending"), 10u);
+    EXPECT_EQ(sg.scalarValue("callback_heap_spills"), 1u);
+}
+
+TEST(InplaceCallback, SmallCaptureStaysInline)
+{
+    int hits = 0;
+    InplaceCallback cb([&hits] { ++hits; });
+    ASSERT_TRUE(static_cast<bool>(cb));
+    EXPECT_FALSE(cb.heapAllocated());
+    cb();
+    cb();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InplaceCallback, LargeCaptureFallsBackToHeap)
+{
+    struct Big
+    {
+        char blob[3 * InplaceCallback::inlineCapacity];
+    } big = {};
+    big.blob[0] = 42;
+    int seen = 0;
+    InplaceCallback cb([big, &seen] { seen = big.blob[0]; });
+    EXPECT_TRUE(cb.heapAllocated());
+    cb();
+    EXPECT_EQ(seen, 42);
+}
+
+TEST(InplaceCallback, MoveTransfersOwnership)
+{
+    // Inline case: the capture must survive relocation by move.
+    auto flag = std::make_shared<int>(0);
+    InplaceCallback a([flag] { ++*flag; });
+    EXPECT_EQ(flag.use_count(), 2);
+    InplaceCallback b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));
+    EXPECT_EQ(flag.use_count(), 2) << "move must not copy the capture";
+    b();
+    EXPECT_EQ(*flag, 1);
+    b.reset();
+    EXPECT_EQ(flag.use_count(), 1);
+
+    // Heap case: moving transfers the heap cell, no reallocation.
+    struct Big
+    {
+        std::shared_ptr<int> p;
+        char pad[2 * InplaceCallback::inlineCapacity] = {};
+    };
+    auto counter = std::make_shared<int>(0);
+    InplaceCallback c(
+        [cap = Big{counter, {}}] { ++*cap.p; });
+    EXPECT_TRUE(c.heapAllocated());
+    InplaceCallback d;
+    d = std::move(c);
+    EXPECT_TRUE(d.heapAllocated());
+    d();
+    EXPECT_EQ(*counter, 1);
 }
 
 TEST(Types, TickConversions)
