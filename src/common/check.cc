@@ -1,0 +1,128 @@
+#include "common/check.hh"
+
+#include <cstdarg>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace vans::verify
+{
+
+namespace
+{
+
+std::mutex &
+registryMutex()
+{
+    static std::mutex m; // simlint-allow: mutex is its own guard.
+    return m;
+}
+
+std::vector<Site *> &
+registry()
+{
+    // simlint-allow: guarded by registryMutex().
+    static std::vector<Site *> sites;
+    return sites;
+}
+
+} // namespace
+
+Site::Site(const char *subsys, const char *e, const char *f, int l)
+    : subsystem(subsys), expr(e), file(f), line(l)
+{
+    std::lock_guard<std::mutex> lock(registryMutex());
+    registry().push_back(this);
+}
+
+std::string
+Failure::str() const
+{
+    return strFormat("[%s] rule=%s tick=%llu: %s", subsystem.c_str(),
+                     rule.c_str(),
+                     static_cast<unsigned long long>(tick),
+                     detail.c_str());
+}
+
+void
+Monitor::report(Failure f)
+{
+    ++numReported;
+    if (failFast) {
+        panic("verification failure: %s", f.str().c_str());
+    }
+    fails.push_back(std::move(f));
+}
+
+std::size_t
+Monitor::countRule(const std::string &rule) const
+{
+    std::size_t n = 0;
+    for (const auto &f : fails) {
+        if (f.rule == rule)
+            ++n;
+    }
+    return n;
+}
+
+bool
+envEnabled()
+{
+    // simlint-allow: written once on first use, read-only after.
+    static const bool enabled = [] {
+        const char *v = std::getenv("VANS_VERIFY");
+        if (!v)
+            return false;
+        std::string s(v);
+        return s == "1" || s == "on" || s == "yes" || s == "true";
+    }();
+    return enabled;
+}
+
+void
+checkStatsInto(StatGroup &stats)
+{
+    std::lock_guard<std::mutex> lock(registryMutex());
+    for (const Site *s : registry()) {
+        std::string name = strFormat("%s.%s:%d", s->subsystem,
+                                     s->file, s->line);
+        stats.scalar(name).set(
+            s->hits.load(std::memory_order_relaxed));
+    }
+}
+
+std::uint64_t
+totalCheckHits()
+{
+    std::lock_guard<std::mutex> lock(registryMutex());
+    std::uint64_t total = 0;
+    for (const Site *s : registry())
+        total += s->hits.load(std::memory_order_relaxed);
+    return total;
+}
+
+std::size_t
+siteCount()
+{
+    std::lock_guard<std::mutex> lock(registryMutex());
+    return registry().size();
+}
+
+void
+failSite(const Site &site, const char *kind, Tick tick,
+         const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    char detail[512];
+    vsnprintf(detail, sizeof(detail), fmt, args);
+    va_end(args);
+
+    panic("%s violated: [%s] `%s` at %s:%d tick=%llu: %s", kind,
+          site.subsystem, site.expr, site.file, site.line,
+          static_cast<unsigned long long>(tick), detail);
+}
+
+} // namespace vans::verify

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
 
@@ -38,10 +39,11 @@ EventQueue::acquireSlot()
 void
 EventQueue::schedule(Tick when, Callback cb)
 {
-    if (when < now)
-        panic("event scheduled in the past (when=%llu now=%llu)",
-              static_cast<unsigned long long>(when),
-              static_cast<unsigned long long>(now));
+    // Causality: an event may never be scheduled in the past.
+    VANS_REQUIRE("eventq", now, when >= now,
+                 "event scheduled in the past (when=%llu now=%llu)",
+                 static_cast<unsigned long long>(when),
+                 static_cast<unsigned long long>(now));
     if (cb.heapAllocated())
         ++numHeapCallbacks;
 
@@ -84,6 +86,22 @@ EventQueue::step()
         heap[i] = last;
         siftUp(i);
     }
+
+    // Execution order: ticks are non-decreasing, and same-tick
+    // events preserve scheduling order (seq-FIFO) -- the property
+    // every component handshake in the pipeline relies on.
+    VANS_AUDIT("eventq", now,
+               k.when > lastExecWhen ||
+                   (k.when == lastExecWhen && k.seq > lastExecSeq) ||
+                   numExecuted == 0,
+               "event order broken: popped (when=%llu seq=%llu) "
+               "after (when=%llu seq=%llu)",
+               static_cast<unsigned long long>(k.when),
+               static_cast<unsigned long long>(k.seq),
+               static_cast<unsigned long long>(lastExecWhen),
+               static_cast<unsigned long long>(lastExecSeq));
+    lastExecWhen = k.when;
+    lastExecSeq = k.seq;
 
     now = k.when;
     ++numExecuted;

@@ -140,6 +140,9 @@ class EventQueue
     Tick now = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t numExecuted = 0;
+    /** Last executed key, for the seq-FIFO ordering audit. */
+    Tick lastExecWhen = 0;
+    std::uint64_t lastExecSeq = 0;
     std::uint64_t numHeapCallbacks = 0;
     std::size_t maxPending = 0;
 };

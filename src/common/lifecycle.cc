@@ -1,0 +1,129 @@
+#include "common/lifecycle.hh"
+
+#include "common/logging.hh"
+
+namespace vans::verify
+{
+
+void
+RequestLifecycleChecker::onIssue(const Request &r)
+{
+    Tick now = eventq.curTick();
+    if (r.id == 0 || r.id <= lastId) {
+        monitor.report({"lifecycle", "stale-id",
+                        strFormat("request id %llu not fresh "
+                                  "(last issued %llu)",
+                                  static_cast<unsigned long long>(r.id),
+                                  static_cast<unsigned long long>(
+                                      lastId)),
+                        now});
+    }
+    if (live.count(r.id)) {
+        monitor.report({"lifecycle", "double-issue",
+                        strFormat("request %llu issued twice",
+                                  static_cast<unsigned long long>(
+                                      r.id)),
+                        now});
+        return;
+    }
+    if (r.issueTick > now) {
+        monitor.report({"lifecycle", "issue-in-future",
+                        strFormat("request %llu issueTick %llu > "
+                                  "now %llu",
+                                  static_cast<unsigned long long>(r.id),
+                                  static_cast<unsigned long long>(
+                                      r.issueTick),
+                                  static_cast<unsigned long long>(now)),
+                        now});
+    }
+    lastId = std::max(lastId, r.id);
+    live[r.id] = LiveReq{ReqStage::Issued, r.issueTick};
+    ++numIssued;
+    maxInFlight = std::max(maxInFlight, live.size());
+}
+
+void
+RequestLifecycleChecker::advance(const Request &r, ReqStage to)
+{
+    auto it = live.find(r.id);
+    if (it == live.end()) {
+        monitor.report(
+            {"lifecycle", "unknown-request",
+             strFormat("request %llu reached stage %u without being "
+                       "live (never issued or already retired)",
+                       static_cast<unsigned long long>(r.id),
+                       static_cast<unsigned>(to)),
+             eventq.curTick()});
+        return;
+    }
+    // Forward-only: a request may re-enter the same stage (e.g. a
+    // read re-queued after waiting on an RPQ slot) but never move
+    // backwards.
+    if (to < it->second.stage) {
+        monitor.report(
+            {"lifecycle", "stage-regression",
+             strFormat("request %llu moved from stage %u back to %u",
+                       static_cast<unsigned long long>(r.id),
+                       static_cast<unsigned>(it->second.stage),
+                       static_cast<unsigned>(to)),
+             eventq.curTick()});
+        return;
+    }
+    it->second.stage = to;
+}
+
+void
+RequestLifecycleChecker::onRetire(const Request &r)
+{
+    Tick now = eventq.curTick();
+    auto it = live.find(r.id);
+    if (it == live.end()) {
+        monitor.report({"lifecycle", "double-retire",
+                        strFormat("request %llu retired while not "
+                                  "live (double completion?)",
+                                  static_cast<unsigned long long>(
+                                      r.id)),
+                        now});
+        return;
+    }
+    if (r.completeTick < it->second.issueTick) {
+        monitor.report(
+            {"lifecycle", "complete-before-issue",
+             strFormat("request %llu completeTick %llu < issueTick "
+                       "%llu",
+                       static_cast<unsigned long long>(r.id),
+                       static_cast<unsigned long long>(r.completeTick),
+                       static_cast<unsigned long long>(
+                           it->second.issueTick)),
+             now});
+    }
+    if (r.completeTick > now) {
+        monitor.report(
+            {"lifecycle", "complete-in-future",
+             strFormat("request %llu completeTick %llu > now %llu",
+                       static_cast<unsigned long long>(r.id),
+                       static_cast<unsigned long long>(r.completeTick),
+                       static_cast<unsigned long long>(now)),
+             now});
+    }
+    live.erase(it);
+    ++numRetired;
+}
+
+void
+RequestLifecycleChecker::finalCheck(bool queue_drained)
+{
+    if (!queue_drained || live.empty())
+        return;
+    auto first = live.begin();
+    monitor.report(
+        {"lifecycle", "lost-request",
+         strFormat("%zu request(s) never retired although the event "
+                   "queue drained (first: id %llu, stage %u)",
+                   live.size(),
+                   static_cast<unsigned long long>(first->first),
+                   static_cast<unsigned>(first->second.stage)),
+         eventq.curTick()});
+}
+
+} // namespace vans::verify

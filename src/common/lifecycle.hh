@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Request-lifecycle checker.
+ *
+ * Re-derives the life of every Request independently of the memory
+ * system that services it, mirroring the Ddr4Checker design: the
+ * checker sees only the observation stream (issued / queued /
+ * serviced / retired notifications) and re-builds a per-request state
+ * machine from it, so a controller bug -- a request completed twice,
+ * completed before issue, or silently dropped -- cannot hide behind
+ * the implementation's own bookkeeping.
+ *
+ * Checked rules:
+ *  - every request id is issued exactly once, with a fresh id;
+ *  - lifecycle stages only move forward (issued -> queued ->
+ *    serviced -> retired); re-queueing while waiting for a resource
+ *    is legal, retiring twice never is;
+ *  - completion tick >= issue tick, and never in the simulated
+ *    future;
+ *  - the completion callback fires at most once;
+ *  - when the event queue fully drains, no request is still live
+ *    (a drained queue with an unretired request is a lost request).
+ */
+
+#ifndef VANS_COMMON_LIFECYCLE_HH
+#define VANS_COMMON_LIFECYCLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/check.hh"
+#include "common/event_queue.hh"
+#include "common/request.hh"
+
+namespace vans::verify
+{
+
+/** Lifecycle stages, in the only order they may advance. */
+enum class ReqStage : std::uint8_t
+{
+    Issued = 0,   ///< Accepted by the memory system front end.
+    Queued = 1,   ///< Entered a controller queue (WPQ/RPQ/...).
+    Serviced = 2, ///< Data returned / reached the ADR domain.
+    Retired = 3,  ///< Completion callback delivered to the issuer.
+};
+
+/** Independent observer of every request's lifecycle. */
+class RequestLifecycleChecker
+{
+  public:
+    RequestLifecycleChecker(const EventQueue &eq, Monitor &mon)
+        : eventq(eq), monitor(mon)
+    {}
+
+    void onIssue(const Request &r);
+    void onQueued(const Request &r) { advance(r, ReqStage::Queued); }
+    void onServiced(const Request &r)
+    {
+        advance(r, ReqStage::Serviced);
+    }
+    void onRetire(const Request &r);
+
+    /**
+     * Teardown check. @p queue_drained tells the checker whether the
+     * simulation ran to quiescence (live requests are then lost) or
+     * was cut off mid-flight (live requests are then expected).
+     */
+    void finalCheck(bool queue_drained);
+
+    std::size_t inFlight() const { return live.size(); }
+    std::uint64_t issued() const { return numIssued; }
+    std::uint64_t retired() const { return numRetired; }
+    std::size_t peakInFlight() const { return maxInFlight; }
+
+  private:
+    struct LiveReq
+    {
+        ReqStage stage;
+        Tick issueTick;
+    };
+
+    void advance(const Request &r, ReqStage to);
+
+    const EventQueue &eventq;
+    Monitor &monitor;
+    std::unordered_map<std::uint64_t, LiveReq> live;
+    std::uint64_t lastId = 0;
+    std::uint64_t numIssued = 0;
+    std::uint64_t numRetired = 0;
+    std::size_t maxInFlight = 0;
+};
+
+} // namespace vans::verify
+
+#endif // VANS_COMMON_LIFECYCLE_HH

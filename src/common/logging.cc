@@ -1,5 +1,6 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -9,7 +10,9 @@ namespace vans
 
 namespace
 {
-bool quietFlag = false;
+// Read by warn()/inform() from sweep worker threads while the main
+// thread may toggle it: atomic so the flag stays race-free.
+std::atomic<bool> quietFlag{false};
 
 std::string
 vformat(const char *fmt, std::va_list ap)
@@ -59,7 +62,7 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (quietFlag)
+    if (quietFlag.load(std::memory_order_relaxed))
         return;
     std::va_list ap;
     va_start(ap, fmt);
@@ -71,7 +74,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (quietFlag)
+    if (quietFlag.load(std::memory_order_relaxed))
         return;
     std::va_list ap;
     va_start(ap, fmt);
@@ -83,13 +86,13 @@ inform(const char *fmt, ...)
 void
 setQuiet(bool quiet)
 {
-    quietFlag = quiet;
+    quietFlag.store(quiet, std::memory_order_relaxed);
 }
 
 bool
 isQuiet()
 {
-    return quietFlag;
+    return quietFlag.load(std::memory_order_relaxed);
 }
 
 } // namespace vans

@@ -92,6 +92,7 @@ ThreadPool::workerLoop()
 ThreadPool &
 ThreadPool::shared()
 {
+    // simlint-allow: magic static; the pool locks internally.
     static ThreadPool pool;
     return pool;
 }

@@ -18,12 +18,20 @@
  *  - PRE respects tRAS after ACT, tRTP after RD, tWR after WR data.
  *  - REF only with all banks precharged; tRFC before the next ACT;
  *    average REF cadence within tREFI (9x margin, matching JEDEC
- *    postponement rules) -- violations reported as warnings.
+ *    postponement rules).
+ *
+ * Two usage modes share the same rule engine:
+ *  - batch: check(trace) over a recorded command vector (tests);
+ *  - online: feed(cmd) per command as the controller emits it --
+ *    no trace storage, O(1) state -- which is how verify=on wires
+ *    the checker into every live controller, including the on-DIMM
+ *    DRAM inside each simulated NVRAM DIMM.
  */
 
 #ifndef VANS_DRAM_CHECKER_HH
 #define VANS_DRAM_CHECKER_HH
 
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -50,9 +58,61 @@ class Ddr4Checker
     /** Check a full trace. @return all violations found. */
     std::vector<Violation> check(const std::vector<DramCommand> &cmds);
 
+    /** Online mode: account one emitted command. */
+    void feed(const DramCommand &cmd);
+
+    /** Violations accumulated by feed() so far. */
+    const std::vector<Violation> &violations() const { return viols; }
+
+    /** Commands fed so far (batch or online). */
+    std::uint64_t commandsChecked() const { return numFed; }
+
+    /** Drop all per-stream state and findings. */
+    void reset();
+
   private:
+    struct CheckBank
+    {
+        bool open = false;
+        std::uint64_t row = 0;
+        Tick lastAct = 0;
+        Tick lastPre = 0;
+        Tick lastRd = 0;
+        Tick lastWrDataEnd = 0;
+        bool everActed = false;
+        bool everPre = false;
+        bool everRd = false;
+        bool everWr = false;
+    };
+
+    unsigned bankIdx(const DramCommand &c) const;
+    unsigned groupIdx(const DramCommand &c) const;
+    void fail(const char *rule, std::string detail);
+    void needGap(const char *rule, Tick earlier, unsigned cycles,
+                 Tick now);
+
     DramTiming spec;
     DramGeometry geom;
+
+    // Re-derived protocol state (reset() restores all of it).
+    std::vector<CheckBank> banks;
+    std::vector<Tick> lastCasGroup;
+    std::vector<bool> casSeenGroup;
+    std::vector<Tick> lastActGroup;
+    std::vector<bool> actSeenGroup;
+    Tick lastCasAny = 0;
+    bool casSeen = false;
+    Tick lastActAny = 0;
+    bool actSeen = false;
+    Tick lastWrDataEndAny = 0;
+    bool wrSeen = false;
+    std::deque<Tick> actWindow;
+    Tick refDoneAt = 0;
+    Tick lastRef = 0;
+    bool refSeen = false;
+
+    std::uint64_t numFed = 0;
+    std::vector<Violation> viols;
 };
 
 } // namespace vans::dram

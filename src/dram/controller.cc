@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace vans::dram
@@ -26,7 +27,37 @@ DramController::DramController(EventQueue &eq, const DramTiming &timing,
       lastActInGroup(geometry.ranks * geometry.bankGroups, 0),
       nextRefresh(spec.tREFI ? spec.cyc(spec.tREFI) : never),
       statGroup(std::move(name))
-{}
+{
+    if (verify::envEnabled())
+        enableOnlineCheck();
+}
+
+void
+DramController::enableOnlineCheck()
+{
+    if (!checker)
+        checker = std::make_unique<Ddr4Checker>(spec, map.geometry());
+}
+
+DramController::~DramController()
+{
+    if (!checker || checker->violations().empty())
+        return;
+    const Violation &v = checker->violations().front();
+    panic("DDR4 protocol violation in %s: %s at cmd %zu: %s "
+          "(%zu total violations over %llu commands)",
+          statGroup.name().c_str(), v.rule.c_str(), v.cmdIndex,
+          v.detail.c_str(), checker->violations().size(),
+          static_cast<unsigned long long>(checker->commandsChecked()));
+}
+
+void
+DramController::emit(const DramCommand &cmd)
+{
+    cmdTrace.record(cmd);
+    if (checker)
+        checker->feed(cmd);
+}
 
 void
 DramController::access(Addr addr, bool write, std::uint32_t size,
@@ -128,7 +159,7 @@ DramController::issueAct(const DramCoord &c)
 
     cmdBusFree = now + spec.period();
     statGroup.scalar("cmd_act").inc();
-    cmdTrace.record({now, DramCmd::ACT, c.rank, c.bankGroup, c.bank,
+    emit({now, DramCmd::ACT, c.rank, c.bankGroup, c.bank,
                      c.row, 0});
 }
 
@@ -141,7 +172,7 @@ DramController::issuePre(const DramCoord &c)
     b.actReady = std::max(b.actReady, now + spec.cyc(spec.tRP));
     cmdBusFree = now + spec.period();
     statGroup.scalar("cmd_pre").inc();
-    cmdTrace.record({now, DramCmd::PRE, c.rank, c.bankGroup, c.bank,
+    emit({now, DramCmd::PRE, c.rank, c.bankGroup, c.bank,
                      b.row, 0});
 }
 
@@ -172,7 +203,7 @@ DramController::issueCas(const LineReq &r)
     }
 
     cmdBusFree = now + spec.period();
-    cmdTrace.record({now, r.write ? DramCmd::WR : DramCmd::RD,
+    emit({now, r.write ? DramCmd::WR : DramCmd::RD,
                      r.coord.rank, r.coord.bankGroup, r.coord.bank,
                      r.coord.row, r.coord.column});
 
@@ -207,7 +238,7 @@ DramController::doRefresh()
             c.rank = i / (g.banksPerGroup * g.bankGroups);
             c.row = b.row;
             statGroup.scalar("cmd_pre").inc();
-            cmdTrace.record({now, DramCmd::PRE, c.rank, c.bankGroup,
+            emit({now, DramCmd::PRE, c.rank, c.bankGroup,
                              c.bank, b.row, 0});
             b.open = false;
         }
@@ -219,7 +250,7 @@ DramController::doRefresh()
     }
     cmdBusFree = std::max(cmdBusFree, ref_at + spec.period());
     statGroup.scalar("cmd_ref").inc();
-    cmdTrace.record({ref_at, DramCmd::REF, 0, 0, 0, 0, 0});
+    emit({ref_at, DramCmd::REF, 0, 0, 0, 0, 0});
     nextRefresh += spec.cyc(spec.tREFI);
     refreshPending = false;
 }

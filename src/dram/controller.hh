@@ -30,6 +30,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "dram/address_map.hh"
+#include "dram/checker.hh"
 #include "dram/command.hh"
 #include "dram/timing.hh"
 
@@ -54,6 +55,7 @@ class DramController
                    SchedPolicy policy = SchedPolicy::FRFCFS,
                    MapScheme map = MapScheme::RowBankCol,
                    std::string name = "dram");
+    ~DramController();
 
     /**
      * Enqueue an access; @p done fires at data completion time.
@@ -76,6 +78,18 @@ class DramController
 
     /** Command trace for the protocol checker. */
     CommandTrace &trace() { return cmdTrace; }
+
+    /**
+     * Verified mode: feed every emitted command through an online
+     * Ddr4Checker (no trace storage) and panic at teardown on any
+     * protocol violation. Auto-enabled for every controller when
+     * VANS_VERIFY is set, so all DRAM-touching tests get the checker
+     * for free; call this to force it regardless of the environment.
+     */
+    void enableOnlineCheck();
+
+    /** Online checker (nullptr when verified mode is off). */
+    const Ddr4Checker *onlineChecker() const { return checker.get(); }
 
     const DramTiming &timing() const { return spec; }
     const DramGeometry &geometry() const { return map.geometry(); }
@@ -119,6 +133,9 @@ class DramController
 
     void scheduleWakeup(Tick when);
     void process();
+
+    /** Record @p cmd in the trace and feed the online checker. */
+    void emit(const DramCommand &cmd);
 
     /** Earliest tick the next required command for @p r can issue. */
     Tick earliestIssue(const LineReq &r) const;
@@ -164,6 +181,8 @@ class DramController
 
     StatGroup statGroup;
     CommandTrace cmdTrace;
+    /** Online protocol checker; allocated only in verified mode. */
+    std::unique_ptr<Ddr4Checker> checker;
 };
 
 } // namespace vans::dram

@@ -1,5 +1,6 @@
 #include "lens/driver.hh"
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace vans::lens
@@ -39,6 +40,11 @@ Driver::read(Addr addr, std::uint32_t size)
     };
     mem.issue(req);
     runUntil([&done] { return done; });
+    // A zero-latency load would mean the model handed data back in
+    // the issuing event -- a measurement artifact, not a memory.
+    VANS_INVARIANT("lens.driver", eq.curTick(), lat > 0,
+                   "read of %llx measured zero latency",
+                   static_cast<unsigned long long>(addr));
     return lat;
 }
 
@@ -108,6 +114,13 @@ Driver::streamOps(const std::vector<Addr> &addrs, MemOp op,
         std::size_t before = completed;
         runUntil([&completed, before] { return completed > before; });
     }
+    // Every issued request must have retired before the elapsed time
+    // is read off -- a leftover in-flight op would attribute its
+    // latency to the next measurement phase.
+    VANS_INVARIANT("lens.driver", eq.curTick(),
+                   issued == addrs.size() && in_flight == 0,
+                   "stream ended with %zu/%zu issued, %zu in flight",
+                   issued, addrs.size(), in_flight);
     return eq.curTick() - start;
 }
 

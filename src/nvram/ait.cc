@@ -1,5 +1,6 @@
 #include "nvram/ait.hh"
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace vans::nvram
@@ -107,6 +108,13 @@ Ait::installPage(Addr page)
     }
     lru.push_front(BufferEntry{page, true});
     bufferMap[page] = lru.begin();
+    // Map and LRU list index the same resident set, bounded by the
+    // 4096 x 4KB (16MB) on-DIMM DRAM budget.
+    VANS_AUDIT("ait", eventq.curTick(),
+               lru.size() == bufferMap.size() &&
+                   bufferMap.size() <= cfg.aitBufEntries,
+               "buffer books diverged: lru %zu, map %zu, cap %u",
+               lru.size(), bufferMap.size(), cfg.aitBufEntries);
 }
 
 void
@@ -274,8 +282,12 @@ Ait::canAcceptWrite() const
 void
 Ait::acceptWrite(Addr addr, DoneCallback done)
 {
-    if (!canAcceptWrite())
-        panic("AIT write intake overflow (caller must check)");
+    // The RMW buffer must probe canAcceptWrite first: the intake is
+    // the bounded queue that turns media pressure into upstream
+    // stalls instead of unbounded buffering.
+    VANS_REQUIRE("ait", eventq.curTick(), canAcceptWrite(),
+                 "write intake overflow (%zu queued, bound %zu)",
+                 writeIntake.size(), writeIntakeDepth);
     writeIntake.push_back(
         PendingWrite{addr, std::move(done), eventq.curTick()});
     statGroup.scalar("writes").inc();

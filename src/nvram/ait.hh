@@ -93,6 +93,21 @@ class Ait
     dram::DramController &dramCtrl() { return dram; }
     StatGroup &stats() { return statGroup; }
 
+    /** Resident AIT-buffer lines (invariant checker / probers). */
+    std::size_t bufferOccupancy() const { return bufferMap.size(); }
+
+    /** Writes currently queued in the bounded intake. */
+    std::size_t writeIntakeOccupancy() const
+    {
+        return writeIntake.size();
+    }
+
+    /** Configured intake bound. */
+    std::size_t writeIntakeCapacity() const
+    {
+        return writeIntakeDepth;
+    }
+
     /**
      * Pre-translation support (paper section V-B): when set, read()
      * also performs the extra on-DIMM DRAM access that fetches the

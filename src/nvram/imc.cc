@@ -1,5 +1,6 @@
 #include "nvram/imc.hh"
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace vans::nvram
@@ -58,10 +59,14 @@ Imc::issueWrite(RequestPtr req)
         unsigned ci = dimmOf(req->addr);
         Channel &ch = channels[ci];
         Addr line = alignDown(req->addr, cacheLineSize);
+        if (lifecycle)
+            lifecycle->onQueued(*req);
 
         if (ch.wpqMap.count(line)) {
             // Merge into the pending entry: already in ADR.
             statGroup.scalar("wpq_merges").inc();
+            if (lifecycle)
+                lifecycle->onServiced(*req);
             req->complete(eventq.curTick());
             return;
         }
@@ -80,8 +85,16 @@ Imc::issueWrite(RequestPtr req)
 void
 Imc::wpqInsert(Channel &ch, Addr line, RequestPtr req)
 {
+    // The WPQ is the 512B ADR domain: it must never stretch beyond
+    // its configured 8 x 64B slots.
+    VANS_INVARIANT("imc.wpq", eventq.curTick(),
+                   ch.wpqMap.size() < cfg.wpqEntries,
+                   "WPQ overflow: %zu lines, capacity %u",
+                   ch.wpqMap.size(), cfg.wpqEntries);
     ch.wpqMap[line] = true;
     ch.wpqFifo.push_back(line);
+    if (lifecycle)
+        lifecycle->onServiced(*req);
     req->complete(eventq.curTick());
 }
 
@@ -100,6 +113,12 @@ Imc::wpqDrain(unsigned ci)
     Tick arrival = busTransfer(ch, true, cacheLineSize);
     eventq.schedule(arrival, [this, ci, line] {
         Channel &c = channels[ci];
+        // The drain only started because the DIMM had LSQ room; the
+        // slot must still be there when the line arrives.
+        VANS_REQUIRE("imc.wpq", eventq.curTick(),
+                     c.dimm->canAcceptWrite(line),
+                     "WPQ drained into a full DIMM LSQ (line %llx)",
+                     static_cast<unsigned long long>(line));
         c.dimm->acceptWrite(line);
         c.wpqMap.erase(line);
 
@@ -119,6 +138,8 @@ Imc::wpqDrain(unsigned ci)
             Addr wline = alignDown(w->addr, cacheLineSize);
             if (c.wpqMap.count(wline)) {
                 statGroup.scalar("wpq_merges").inc();
+                if (lifecycle)
+                    lifecycle->onServiced(*w);
                 w->complete(eventq.curTick());
             } else {
                 wpqInsert(c, wline, w);
@@ -141,6 +162,8 @@ Imc::issueRead(RequestPtr req)
         unsigned ci = dimmOf(req->addr);
         Channel &ch = channels[ci];
         Addr line = alignDown(req->addr, cacheLineSize);
+        if (lifecycle)
+            lifecycle->onQueued(*req);
 
         // Read-after-write ordering at the iMC: a read that hits a
         // pending WPQ line waits for that line to drain (NT loads do
@@ -163,6 +186,10 @@ Imc::startRead(unsigned ci, RequestPtr req)
         return;
     }
     ++ch.rpqInFlight;
+    VANS_INVARIANT("imc.rpq", eventq.curTick(),
+                   ch.rpqInFlight <= cfg.rpqEntries,
+                   "RPQ overflow: %u in flight, capacity %u",
+                   ch.rpqInFlight, cfg.rpqEntries);
 
     // Command phase over the bus.
     Tick cmd_arrival = busTransfer(ch, false, 0);
@@ -171,6 +198,8 @@ Imc::startRead(unsigned ci, RequestPtr req)
         c.dimm->read(req->addr, [this, ci, req](Tick) {
             // Data staged at the DIMM: grant + data return phase.
             Channel &c2 = channels[ci];
+            if (lifecycle)
+                lifecycle->onServiced(*req);
             Tick data_arrival = busTransfer(c2, false, req->size);
             Tick at_core = data_arrival + nsToTicks(cfg.coreToImcNs);
             eventq.schedule(at_core, [this, ci, req, at_core] {
@@ -191,6 +220,8 @@ void
 Imc::issueFence(RequestPtr req)
 {
     statGroup.scalar("fences").inc();
+    if (lifecycle)
+        lifecycle->onQueued(*req);
     pendingFences.push_back(req);
     checkFences();
 }
@@ -227,8 +258,11 @@ Imc::checkFences()
     }
     if (quiet) {
         Tick now = eventq.curTick();
-        for (auto &f : pendingFences)
+        for (auto &f : pendingFences) {
+            if (lifecycle)
+                lifecycle->onServiced(*f);
             f->complete(now);
+        }
         pendingFences.clear();
         return;
     }

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/event_queue.hh"
+#include "common/lifecycle.hh"
 #include "common/request.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -64,6 +65,25 @@ class Imc
     }
 
     StatGroup &stats() { return statGroup; }
+
+    /** WPQ lines currently held in ADR for channel @p ci. */
+    std::size_t wpqOccupancy(unsigned ci) const
+    {
+        return channels[ci].wpqMap.size();
+    }
+
+    /** Reads in flight past the RPQ admission for channel @p ci. */
+    unsigned rpqInFlight(unsigned ci) const
+    {
+        return channels[ci].rpqInFlight;
+    }
+
+    /**
+     * Lifecycle observer (verify=on): the iMC reports the queued /
+     * serviced transitions of every request so the checker can
+     * re-derive the request state machine. Never owned here.
+     */
+    verify::RequestLifecycleChecker *lifecycle = nullptr;
 
   private:
     struct DdrtBus

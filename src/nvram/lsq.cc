@@ -1,5 +1,6 @@
 #include "nvram/lsq.hh"
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace vans::nvram
@@ -52,8 +53,11 @@ Lsq::acceptWrite(Addr addr)
         return;
     }
 
-    if (numEntries >= cfg.lsqEntries)
-        panic("LSQ acceptWrite without room (check canAccept)");
+    // The caller (the iMC drain) must have probed canAcceptWrite:
+    // the LSQ is the 4KB on-DIMM queue and never overcommits.
+    VANS_REQUIRE("lsq", now, numEntries < cfg.lsqEntries,
+                 "acceptWrite without room (%zu entries, capacity %u)",
+                 numEntries, cfg.lsqEntries);
 
     Group &g = groups[block];
     if (g.presentMask == 0 && !g.draining) {
@@ -122,10 +126,24 @@ Lsq::scheduleDrainCheck(Tick when)
     });
 }
 
+std::size_t
+Lsq::countedEntries() const
+{
+    std::size_t n = 0;
+    for (const auto &kv : groups)
+        n += popcount(kv.second.presentMask);
+    return n;
+}
+
 void
 Lsq::drain()
 {
     Tick now = eventq.curTick();
+    // The cached entry count is what admission control runs on; it
+    // must always equal the recount over the present masks.
+    VANS_AUDIT("lsq", now, numEntries == countedEntries(),
+               "entry count %zu drifted from recount %zu", numEntries,
+               countedEntries());
     Tick epoch = nsToTicks(cfg.lsqEpochNs);
     bool pressured =
         numEntries >= cfg.lsqEntries - cfg.lsqEntries / 8;

@@ -110,6 +110,9 @@ class Lsq
     void drain();
     void startGroupDrain(Group &g);
 
+    /** Recount entries from the present masks (audits only). */
+    std::size_t countedEntries() const;
+
     EventQueue &eventq;
     NvramConfig cfg;
     RmwBuffer &rmw;

@@ -1,5 +1,7 @@
 #include "nvram/media.hh"
 
+#include "common/check.hh"
+
 namespace vans::nvram
 {
 
@@ -74,6 +76,12 @@ XPointMedia::enqueue(Addr media_addr, bool write, Priority prio,
         p.fills.push_back(std::move(op));
         break;
     }
+    // Writers must respect canAccept(): the per-partition write
+    // queue bound is what propagates media pressure upstream.
+    VANS_REQUIRE("media", eventq.curTick(),
+                 !write || p.writes.size() <= maxQueueDepth,
+                 "write queue overflow on partition %u (%zu > %zu)",
+                 pi, p.writes.size(), maxQueueDepth);
     kick(pi);
 }
 

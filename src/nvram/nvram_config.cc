@@ -56,6 +56,7 @@ NvramConfig::fromConfig(const Config &cfg)
     c.wearThreshold = cfg.getU64(s, "wear_threshold", c.wearThreshold);
     c.migrationUs = cfg.getDouble(s, "migration_us", c.migrationUs);
     c.dimmCtrlNs = cfg.getDouble(s, "dimm_ctrl_ns", c.dimmCtrlNs);
+    c.verify = cfg.getBool(s, "verify", c.verify);
     return c;
 }
 

@@ -78,6 +78,14 @@ struct NvramConfig
     // ---- Returns / completion --------------------------------------
     double dimmCtrlNs = 18;  ///< DIMM controller FSM per request.
 
+    // ---- Verification ----------------------------------------------
+    /** Run with the model-integrity verifier attached (lifecycle +
+     *  pipeline invariant checkers). The VANS_VERIFY environment
+     *  variable turns this on globally; the [nvram] verify config key
+     *  turns it on per system. Checking is passive -- it never
+     *  perturbs simulated timing. */
+    bool verify = false;
+
     /** Table V defaults (what the validated runs use). */
     static NvramConfig optaneDefault();
 

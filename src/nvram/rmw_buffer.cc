@@ -1,5 +1,6 @@
 #include "nvram/rmw_buffer.hh"
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace vans::nvram
@@ -144,6 +145,15 @@ RmwBuffer::acceptWrite(Addr addr, std::uint32_t bytes,
     Tick access = nsToTicks(cfg.rmwAccessNs);
     statGroup.scalar("writes").inc();
 
+    // The cached clean count drives both eviction and admission; it
+    // must match a recount, and the buffer must hold its 64 x 256B.
+    VANS_AUDIT("rmw", eventq.curTick(),
+               cleanCount == countedClean() &&
+                   entries.size() <= cfg.rmwEntries,
+               "clean count %zu vs recount %zu, %zu lines (cap %u)",
+               cleanCount, countedClean(), entries.size(),
+               cfg.rmwEntries);
+
     auto finish = [this, access, done = std::move(done)]() mutable {
         eventq.scheduleAfter(access, [this,
                                       done = std::move(done)]() mutable {
@@ -155,6 +165,14 @@ RmwBuffer::acceptWrite(Addr addr, std::uint32_t bytes,
     Entry *e = find(line);
     if (e) {
         statGroup.scalar("write_merges").inc();
+        // Staged lines (Dirty / IssuedWait) make the writer wait --
+        // canAcceptWrite must have rejected this call.
+        VANS_REQUIRE("rmw", eventq.curTick(),
+                     e->state == State::Clean ||
+                         e->state == State::Filling,
+                     "write merged into staged line %llx (state %u)",
+                     static_cast<unsigned long long>(line),
+                     static_cast<unsigned>(e->state));
         e->dirtyBytes += bytes;
         switch (e->state) {
           case State::Clean:
@@ -163,17 +181,18 @@ RmwBuffer::acceptWrite(Addr addr, std::uint32_t bytes,
             enqueueIssue(line);
             break;
           case State::Filling:
-            break; // Combines into the open fill.
           case State::Dirty:
           case State::IssuedWait:
-            panic("RMW write to a staged line (check canAccept)");
+            break; // Filling combines; the rest rejected above.
         }
         finish();
         return;
     }
 
-    if (!makeRoom())
-        panic("RMW acceptWrite without room (check canAccept)");
+    bool made_room = makeRoom();
+    VANS_REQUIRE("rmw", eventq.curTick(), made_room,
+                 "acceptWrite without room (%zu lines, %zu clean)",
+                 entries.size(), cleanCount);
 
     Entry &ne = entries[line];
     ne.line = line;
@@ -261,6 +280,17 @@ RmwBuffer::finishWrite(Entry &e, Tick)
         return;
     }
     markClean(e);
+}
+
+std::size_t
+RmwBuffer::countedClean() const
+{
+    std::size_t n = 0;
+    for (const auto &kv : entries) {
+        if (kv.second.state == State::Clean)
+            ++n;
+    }
+    return n;
 }
 
 bool

@@ -113,6 +113,9 @@ class RmwBuffer
     void drainIssue();
     void finishWrite(Entry &e, Tick when);
 
+    /** Recount State::Clean entries (audits only). */
+    std::size_t countedClean() const;
+
     EventQueue &eventq;
     NvramConfig cfg;
     Ait &ait;

@@ -1,6 +1,8 @@
 #include "nvram/vans_system.hh"
 
+#include "common/check.hh"
 #include "common/logging.hh"
+#include "nvram/nvm_checker.hh"
 
 namespace vans::nvram
 {
@@ -11,13 +13,26 @@ VansSystem::VansSystem(EventQueue &eq, const NvramConfig &config,
       cfg(config),
       sysName(std::move(name)),
       imcModel(eq, config, sysName + ".imc")
-{}
+{
+    if (cfg.verify || verify::envEnabled()) {
+        verif = std::make_unique<Verifier>(eq, cfg, sysName);
+        imcModel.lifecycle = &verif->lifecycle();
+    }
+}
+
+VansSystem::~VansSystem()
+{
+    if (verif)
+        verif->finalCheck(*this, eventq.empty());
+}
 
 void
 VansSystem::issue(RequestPtr req)
 {
     req->id = nextRequestId();
     req->issueTick = eventq.curTick();
+    if (verif)
+        verif->onIssue(req, *this);
     switch (req->op) {
       case MemOp::Read:
       case MemOp::ReadNT:

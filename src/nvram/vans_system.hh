@@ -22,12 +22,15 @@
 namespace vans::nvram
 {
 
+class Verifier;
+
 /** The Optane-DIMM-style memory system modeled by this repo. */
 class VansSystem : public MemorySystem
 {
   public:
     VansSystem(EventQueue &eq, const NvramConfig &cfg,
                std::string name = "vans");
+    ~VansSystem() override;
 
     void issue(RequestPtr req) override;
     std::string name() const override { return sysName; }
@@ -53,10 +56,17 @@ class VansSystem : public MemorySystem
     /** Sum of media chunk reads over all DIMMs. */
     std::uint64_t totalMediaReads();
 
+    /**
+     * The attached verifier, or nullptr when the system runs
+     * unverified ([nvram] verify and VANS_VERIFY both off).
+     */
+    Verifier *verifier() { return verif.get(); }
+
   private:
     NvramConfig cfg;
     std::string sysName;
     Imc imcModel;
+    std::unique_ptr<Verifier> verif;
 };
 
 } // namespace vans::nvram

@@ -1,5 +1,9 @@
 #include "nvram/wear_leveler.hh"
 
+#include <algorithm>
+
+#include "common/check.hh"
+
 namespace vans::nvram
 {
 
@@ -17,6 +21,17 @@ WearLeveler::onMediaWrite(Addr addr)
 
     if (count < cfg.wearThreshold || migrating.count(block))
         return;
+
+    // A migration triggers at exactly the threshold: writes to a
+    // migrating block stall upstream (in the AIT), so the counter
+    // can never overshoot. ~14000 writes per 64KB block by default.
+    VANS_INVARIANT("wear", eventq.curTick(),
+                   count == cfg.wearThreshold,
+                   "migration of block %llx at wear %llu != "
+                   "threshold %llu",
+                   static_cast<unsigned long long>(block),
+                   static_cast<unsigned long long>(count),
+                   static_cast<unsigned long long>(cfg.wearThreshold));
 
     // Start an asynchronous migration of this block. The counter
     // resets -- the data now lives in fresh media with fresh wear.
@@ -43,6 +58,15 @@ WearLeveler::blockWear(Addr addr) const
 {
     auto it = wearCount.find(blockOf(addr));
     return it == wearCount.end() ? 0 : it->second;
+}
+
+Tick
+WearLeveler::earliestMigrationEnd() const
+{
+    Tick earliest = 0;
+    for (const auto &kv : migrating)
+        earliest = earliest ? std::min(earliest, kv.second) : kv.second;
+    return earliest;
 }
 
 } // namespace vans::nvram

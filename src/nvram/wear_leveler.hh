@@ -62,6 +62,16 @@ class WearLeveler
     /** Wear count of the block owning @p addr (since last reset). */
     std::uint64_t blockWear(Addr addr) const;
 
+    /** Migrations currently in flight. */
+    std::size_t activeMigrations() const { return migrating.size(); }
+
+    /**
+     * Completion tick of the earliest in-flight migration; 0 when
+     * none. Every in-flight migration must complete in the future --
+     * a stale entry would stall writes to its block forever.
+     */
+    Tick earliestMigrationEnd() const;
+
     /**
      * Lazy-cache hook (paper section V-C): called when a migration
      * of @p block_addr begins, carrying the wear count that

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Simulator-specific lint for the VANS/LENS tree.
+
+A discrete-event simulator has correctness rules a generic linter
+does not know about. This one enforces three of them over src/:
+
+  wallclock   No wall-clock time or ambient randomness in simulator
+              code. Simulated time comes from the EventQueue and
+              randomness from seeded Rng instances; anything else
+              breaks run-to-run determinism (and with it, the
+              figure-reproduction benches).
+
+  stdfunction No std::function in the event-kernel headers. The
+              kernel's zero-allocation contract depends on
+              InplaceCallback; a std::function smuggled into the
+              event path reintroduces per-event heap traffic.
+
+  mutablestatic
+              No unguarded mutable statics. Simulated systems run
+              concurrently under parallelFor (the sweep runner), so
+              any mutable static is shared state across simulations.
+              const/constexpr/thread_local/std::atomic/std::mutex
+              are fine; anything else needs an explicit
+              `simlint-allow` comment on or above the declaration
+              explaining why it is safe.
+
+Findings print as file:line: [rule] message, and the exit status is
+1 when there are any -- suitable both for CI and as a ctest entry.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SOURCE_GLOBS = ("*.cc", "*.hh")
+
+# Headers on the per-event hot path: scheduling one event must not
+# touch these abstractions' heap-allocating types.
+EVENT_PATH_HEADERS = (
+    "src/common/event_queue.hh",
+    "src/common/inplace_function.hh",
+)
+
+WALLCLOCK_PATTERNS = (
+    (re.compile(r"std::chrono"), "std::chrono wall-clock time"),
+    (re.compile(r"\b\w+_clock::now\s*\("), "wall-clock now()"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday()"),
+    (re.compile(r"\bclock_gettime\s*\("), "clock_gettime()"),
+    (re.compile(r"(?<![\w:])time\s*\(\s*(NULL|nullptr|0)?\s*\)"),
+     "time()"),
+    (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+)
+
+ALLOW_RE = re.compile(r"simlint-allow")
+
+STATIC_RE = re.compile(r"^\s*static\s+(?P<rest>.*)$")
+# Qualifiers and types that make a static safe to share.
+STATIC_SAFE_RE = re.compile(
+    r"^(const\b|constexpr\b|thread_local\b|std::atomic\b|"
+    r"std::mutex\b|std::once_flag\b)"
+)
+# A declaration like `static Foo bar(...);` or `static Foo bar();`
+# with the parens directly after an identifier is a member-function
+# or factory declaration, not an object definition. The second form
+# is a declaration whose default-argument list continues on the next
+# line (`static Foo bar(std::uint64_t x =`).
+FUNC_DECL_RE = re.compile(r"[A-Za-z_]\w*\s*\([^;]*\)\s*(const\s*)?;\s*$")
+FUNC_DECL_CONT_RE = re.compile(r"[A-Za-z_]\w*\s*\([^)]*=\s*$")
+
+
+def strip_comments(line, in_block):
+    """Remove comment text; returns (code, still_in_block)."""
+    out = []
+    i = 0
+    while i < len(line):
+        if in_block:
+            end = line.find("*/", i)
+            if end < 0:
+                return "".join(out), True
+            i = end + 2
+            in_block = False
+            continue
+        if line.startswith("//", i):
+            break
+        if line.startswith("/*", i):
+            in_block = True
+            i += 2
+            continue
+        out.append(line[i])
+        i += 1
+    return "".join(out), in_block
+
+
+def lint_file(path, rel, findings):
+    try:
+        text = path.read_text(errors="replace")
+    except OSError as e:
+        findings.append((rel, 0, "io", str(e)))
+        return
+
+    lines = text.splitlines()
+    in_block = False
+    allow_next = False
+    is_event_header = str(rel).replace("\\", "/") in EVENT_PATH_HEADERS
+
+    for lineno, raw in enumerate(lines, 1):
+        allowed = allow_next or ALLOW_RE.search(raw)
+        # An allow comment on its own line covers the next line too.
+        allow_next = bool(ALLOW_RE.search(raw))
+
+        code, in_block = strip_comments(raw, in_block)
+        if not code.strip():
+            continue
+
+        if not allowed:
+            for pat, what in WALLCLOCK_PATTERNS:
+                if pat.search(code):
+                    findings.append(
+                        (rel, lineno, "wallclock",
+                         f"{what}: simulated time must come from the "
+                         "EventQueue, randomness from a seeded Rng"))
+
+        if is_event_header and "std::function" in code:
+            findings.append(
+                (rel, lineno, "stdfunction",
+                 "std::function in an event-path header: use "
+                 "InplaceCallback to keep scheduling allocation-free"))
+
+        m = STATIC_RE.match(code)
+        if m and not allowed:
+            rest = m.group("rest").strip()
+            if (STATIC_SAFE_RE.match(rest)
+                    or FUNC_DECL_RE.search(rest)
+                    or FUNC_DECL_CONT_RE.search(rest)
+                    # Return type on its own line / pure declarators.
+                    or not re.search(r"[;={]\s*$", rest)):
+                continue
+            findings.append(
+                (rel, lineno, "mutablestatic",
+                 "mutable static shared across parallelFor "
+                 "simulations; guard it (atomic/mutex/const) or "
+                 "annotate with a simlint-allow comment"))
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=None,
+                    help="repository root (default: tools/..)")
+    args = ap.parse_args(argv)
+
+    root = Path(args.root) if args.root else \
+        Path(__file__).resolve().parent.parent
+    src = root / "src"
+    if not src.is_dir():
+        print(f"simlint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    findings = []
+    files = sorted(p for g in SOURCE_GLOBS for p in src.rglob(g))
+    for path in files:
+        lint_file(path, path.relative_to(root), findings)
+
+    for rel, lineno, rule, msg in findings:
+        print(f"{rel}:{lineno}: [{rule}] {msg}")
+    print(f"simlint: {len(files)} files, {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
