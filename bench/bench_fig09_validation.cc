@@ -35,23 +35,27 @@ latencyCurves(const SystemFactory &factory, const SweepRunner &sweep,
         double ld = 0;
         double st = 0;
     };
-    auto pts = sweep.map<Pt>(regions.size(), [&](std::size_t i) {
-        EventQueue eq;
-        auto sys = factory(eq);
-        lens::Driver drv(*sys);
-        lens::PtrChaseParams pc;
-        pc.regionBytes = regions[i];
-        pc.warmupLines = 9000;
-        pc.measureLines = 2500;
-        pc.seed = regions[i];
-        pc.coverageWarm = true;
-        Pt out;
-        out.ld = lens::ptrChase(drv, pc).nsPerLine;
-        pc.writeMode = true;
-        out.st = lens::ptrChase(drv, pc).nsPerLine;
-        drv.fence();
-        return out;
-    });
+    // Warm once (read coverage of the full span), fork every region
+    // point from the captured image.
+    std::uint64_t span = regions.back();
+    auto pts = sweep.mapFromWarm<Pt>(
+        factory,
+        [span](MemorySystem &sys) { warmSpan(sys, 0, span); },
+        regions.size(), [&](MemorySystem &sys, std::size_t i) {
+            lens::Driver drv(sys);
+            lens::PtrChaseParams pc;
+            pc.regionBytes = regions[i];
+            pc.warmupLines = 9000;
+            pc.measureLines = 2500;
+            pc.seed = regions[i];
+            pc.coverageWarm = true;
+            Pt out;
+            out.ld = lens::ptrChase(drv, pc).nsPerLine;
+            pc.writeMode = true;
+            out.st = lens::ptrChase(drv, pc).nsPerLine;
+            drv.fence();
+            return out;
+        });
     Curve ld(std::string("VANS-ld") + suffix);
     Curve st(std::string("VANS-st") + suffix);
     for (std::size_t i = 0; i < regions.size(); ++i) {
@@ -115,6 +119,10 @@ main()
     Curve amp_ref("analytic");
     const std::vector<std::uint32_t> amp_blocks = {64, 128, 256,
                                                    1024, 4096};
+    // Deliberately cold (no warm fork): this sweep reads the RMW
+    // buffer's hit/miss counters, and a restored snapshot carries the
+    // warm phase's counts with it -- the ratio must only see the
+    // point's own accesses.
     auto amp_vals = sweep.map<double>(
         amp_blocks.size(), [&](std::size_t i) {
             std::uint32_t block = amp_blocks[i];

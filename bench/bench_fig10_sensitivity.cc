@@ -31,23 +31,29 @@ curves(const SweepRunner &sweep, const nvram::NvramConfig &cfg,
         double ld = 0;
         double st = 0;
     };
-    auto pts = sweep.map<Pt>(regions.size(), [&](std::size_t i) {
-        EventQueue eq;
-        nvram::VansSystem sys(eq, cfg, label);
-        lens::Driver drv(sys);
-        lens::PtrChaseParams pc;
-        pc.regionBytes = regions[i];
-        pc.warmupLines = 8000;
-        pc.measureLines = 2000;
-        pc.seed = regions[i];
-        pc.coverageWarm = true;
-        Pt out;
-        out.ld = lens::ptrChase(drv, pc).nsPerLine;
-        pc.writeMode = true;
-        out.st = lens::ptrChase(drv, pc).nsPerLine;
-        drv.fence();
-        return out;
-    });
+    SystemFactory factory = [&cfg, &label](EventQueue &eq) {
+        return std::make_unique<nvram::VansSystem>(eq, cfg, label);
+    };
+    // Warm once per configuration, fork each region point.
+    std::uint64_t span = regions.back();
+    auto pts = sweep.mapFromWarm<Pt>(
+        factory,
+        [span](MemorySystem &sys) { warmSpan(sys, 0, span); },
+        regions.size(), [&](MemorySystem &sys, std::size_t i) {
+            lens::Driver drv(sys);
+            lens::PtrChaseParams pc;
+            pc.regionBytes = regions[i];
+            pc.warmupLines = 8000;
+            pc.measureLines = 2000;
+            pc.seed = regions[i];
+            pc.coverageWarm = true;
+            Pt out;
+            out.ld = lens::ptrChase(drv, pc).nsPerLine;
+            pc.writeMode = true;
+            out.st = lens::ptrChase(drv, pc).nsPerLine;
+            drv.fence();
+            return out;
+        });
     Curve ld("ld-" + label);
     Curve st("st-" + label);
     for (std::size_t i = 0; i < regions.size(); ++i) {

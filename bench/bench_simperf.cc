@@ -11,6 +11,9 @@
 #include "baselines/dram_system.hh"
 #include "common/event_queue.hh"
 #include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/snapshot.hh"
+#include "common/sweep.hh"
 #include "lens/driver.hh"
 #include "nvram/vans_system.hh"
 
@@ -85,6 +88,118 @@ BM_DramRandomRead(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_DramRandomRead);
+
+// ---- Warm-once/fork-many vs cold-per-point sweeps ------------------
+//
+// The pair below measures the tentpole win of the snapshot/fork
+// subsystem on a warm-dominated sweep: every point needs the same
+// 4000-op warm-up before its 200-op measurement. Cold pays the warm
+// per point; warm-fork pays it once and restores the captured world
+// in O(state). Results are bit-identical (ForkFidelity tests); only
+// the wall clock differs. Both run the serial SweepRunner so the
+// ratio is the algorithmic speedup, not thread fan-out.
+
+constexpr std::size_t sweepPoints = 8;
+
+SystemFactory
+vansFactory()
+{
+    return [](EventQueue &eq) {
+        return std::make_unique<nvram::VansSystem>(
+            eq, nvram::NvramConfig::optaneDefault());
+    };
+}
+
+void
+sweepWarm(MemorySystem &sys)
+{
+    lens::Driver drv(sys);
+    Rng rng(11);
+    for (int n = 0; n < 4000; ++n) {
+        Addr a = rng.below(8u << 20) & ~static_cast<Addr>(63);
+        if (rng.below(4) == 0)
+            drv.write(a);
+        else
+            drv.read(a);
+    }
+    drv.fence();
+}
+
+std::uint64_t
+sweepPoint(MemorySystem &sys, std::size_t i)
+{
+    lens::Driver drv(sys);
+    Rng rng(SweepRunner::pointSeed(5, i));
+    for (int n = 0; n < 200; ++n) {
+        Addr a = rng.below(8u << 20) & ~static_cast<Addr>(63);
+        if (rng.below(2))
+            drv.write(a);
+        else
+            drv.read(a);
+    }
+    drv.fence();
+    return sys.eventQueue().curTick();
+}
+
+void
+BM_SweepColdPerPoint(benchmark::State &state)
+{
+    setQuiet(true);
+    auto factory = vansFactory();
+    for (auto _ : state) {
+        std::uint64_t total = 0;
+        for (std::size_t i = 0; i < sweepPoints; ++i) {
+            EventQueue eq;
+            auto sys = factory(eq);
+            sweepWarm(*sys);
+            snapshot::awaitQuiescence(eq, *sys);
+            total += sweepPoint(*sys, i);
+        }
+        benchmark::DoNotOptimize(total);
+    }
+    state.SetItemsProcessed(state.iterations() * sweepPoints);
+}
+BENCHMARK(BM_SweepColdPerPoint)->Unit(benchmark::kMillisecond);
+
+void
+BM_SweepWarmFork(benchmark::State &state)
+{
+    setQuiet(true);
+    auto factory = vansFactory();
+    SweepRunner serial(1);
+    for (auto _ : state) {
+        auto res = serial.mapFromWarm<std::uint64_t>(
+            factory, sweepWarm, sweepPoints,
+            [](MemorySystem &sys, std::size_t i) {
+                return sweepPoint(sys, i);
+            });
+        benchmark::DoNotOptimize(res);
+    }
+    state.SetItemsProcessed(state.iterations() * sweepPoints);
+}
+BENCHMARK(BM_SweepWarmFork)->Unit(benchmark::kMillisecond);
+
+void
+BM_SnapshotCaptureRestore(benchmark::State &state)
+{
+    setQuiet(true);
+    auto factory = vansFactory();
+    EventQueue proto_eq;
+    auto proto = factory(proto_eq);
+    sweepWarm(*proto);
+    snapshot::awaitQuiescence(proto_eq, *proto);
+    auto snap = snapshot::WorldSnapshot::capture(proto_eq, *proto);
+    for (auto _ : state) {
+        EventQueue eq;
+        auto sys = factory(eq);
+        snap.restoreInto(eq, *sys);
+        benchmark::DoNotOptimize(sys->quiescent());
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["snapshot_bytes"] =
+        static_cast<double>(snap.sizeBytes());
+}
+BENCHMARK(BM_SnapshotCaptureRestore);
 
 } // namespace
 

@@ -3,9 +3,22 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "lens/driver.hh"
 
 namespace vans::bench
 {
+
+void
+warmSpan(MemorySystem &sys, Addr base, std::uint64_t bytes)
+{
+    lens::Driver drv(sys);
+    std::vector<Addr> touch;
+    touch.reserve(bytes / 4096 + 1);
+    for (Addr a = base; a < base + bytes; a += 4096)
+        touch.push_back(a);
+    drv.streamReads(touch, 16);
+    drv.fence();
+}
 
 namespace
 {

@@ -24,9 +24,18 @@
 
 #include "common/ascii_chart.hh"
 #include "common/curve.hh"
+#include "common/mem_system.hh"
 
 namespace vans::bench
 {
+
+/**
+ * Shared warm phase for warm-once/fork-many latency sweeps: one
+ * read touch per 4KB page over [base, base+bytes), then a fence.
+ * Read-only, so forked points inherit steady-state buffer residency
+ * without any pre-aged wear state.
+ */
+void warmSpan(MemorySystem &sys, Addr base, std::uint64_t bytes);
 
 /** Print the figure/table banner. */
 void banner(const std::string &exp, const std::string &what);

@@ -3,11 +3,16 @@
 # report at the repo root (BENCH_simperf.json), where CI and local
 # tooling can diff it against a previous run.
 #
-# Usage: bench/run_simperf.sh [build-dir]
+# Usage: bench/run_simperf.sh [build-dir] [out-json]
+#
+# The report includes the warm-once sweep pair
+# (BM_SweepColdPerPoint vs BM_SweepWarmFork); the cold/fork
+# wall-clock ratio is printed below as the headline speedup.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build"}
+out=${2:-"$repo_root/BENCH_simperf.json"}
 bench_bin="$build_dir/bench/bench_simperf"
 
 if [ ! -x "$bench_bin" ]; then
@@ -16,7 +21,20 @@ if [ ! -x "$bench_bin" ]; then
     exit 1
 fi
 
-out="$repo_root/BENCH_simperf.json"
 "$bench_bin" --benchmark_format=json --benchmark_out="$out" \
              --benchmark_out_format=json
 echo "wrote $out"
+
+# Headline: sweep wall-clock, cold-per-point vs warm-fork.
+python3 - "$out" <<'EOF' || true
+import json, sys
+with open(sys.argv[1]) as f:
+    rep = json.load(f)
+times = {b["name"]: b["real_time"] for b in rep.get("benchmarks", [])
+         if "real_time" in b}
+cold = times.get("BM_SweepColdPerPoint")
+fork = times.get("BM_SweepWarmFork")
+if cold and fork:
+    print(f"sweep wall-clock: cold-per-point {cold:.2f} ms, "
+          f"warm-fork {fork:.2f} ms  ({cold / fork:.2f}x)")
+EOF

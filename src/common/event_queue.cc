@@ -4,6 +4,7 @@
 
 #include "common/check.hh"
 #include "common/logging.hh"
+#include "common/snapshot.hh"
 #include "common/stats.hh"
 
 namespace vans
@@ -132,6 +133,36 @@ EventQueue::runUntil(Tick limit)
         return now;
     now = std::max(now, limit);
     return now;
+}
+
+void
+EventQueue::snapshotTo(snapshot::StateSink &sink) const
+{
+    sink.tag("eventq");
+    sink.u64(now);
+    sink.u64(nextSeq);
+    sink.u64(numExecuted);
+    sink.u64(lastExecWhen);
+    sink.u64(lastExecSeq);
+    sink.u64(numHeapCallbacks);
+    sink.u64(maxPending);
+}
+
+void
+EventQueue::restoreFrom(snapshot::StateSource &src)
+{
+    VANS_REQUIRE("eventq", now, heap.empty() && now == 0,
+                 "snapshot restore into a non-fresh queue "
+                 "(now=%llu pending=%zu)",
+                 static_cast<unsigned long long>(now), heap.size());
+    src.tag("eventq");
+    now = src.u64();
+    nextSeq = src.u64();
+    numExecuted = src.u64();
+    lastExecWhen = src.u64();
+    lastExecSeq = src.u64();
+    numHeapCallbacks = src.u64();
+    maxPending = src.u64();
 }
 
 void

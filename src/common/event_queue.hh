@@ -29,6 +29,12 @@
 #include "common/inplace_function.hh"
 #include "common/types.hh"
 
+namespace vans::snapshot
+{
+class StateSink;
+class StateSource;
+} // namespace vans::snapshot
+
 namespace vans
 {
 
@@ -91,6 +97,21 @@ class EventQueue
 
     /** Export the kernel counters as scalars of @p stats. */
     void statsInto(StatGroup &stats) const;
+
+    /**
+     * Serialize the kernel counters (time, seq, totals). Pending
+     * events are NOT serialized: the snapshot contract requires the
+     * world to be quiescent, and each component re-arms its own
+     * guarded timers during restore.
+     */
+    void snapshotTo(snapshot::StateSink &sink) const;
+
+    /**
+     * Restore counters into this queue, which must be freshly built
+     * (empty, tick 0). Re-armed timers scheduled by the components
+     * afterwards continue the captured seq stream.
+     */
+    void restoreFrom(snapshot::StateSource &src);
 
   private:
     /**

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Fixed-capacity, allocation-free LRU set keyed by address.
+ *
+ * The AIT consults its buffer LRU and translation cache on every
+ * single NVRAM access, so the classic std::list + std::unordered_map
+ * pair (one node allocation per insert, pointer-chasing on every
+ * splice) sits squarely on the simulator's hot path. This container
+ * replaces it with three flat arrays sized once at construction:
+ *
+ *  - a slot array holding the keys,
+ *  - prev/next index arrays forming the recency chain (a splice is
+ *    three index writes, no allocation, no pointer chase into
+ *    scattered nodes),
+ *  - an open-addressed hash table (linear probing, backward-shift
+ *    deletion) mapping key -> slot.
+ *
+ * After construction the container never allocates. Iteration order
+ * (MRU to LRU) is fully deterministic, which the snapshot/fork
+ * subsystem relies on to serialize recency state bit-exactly.
+ */
+
+#ifndef VANS_COMMON_FLAT_LRU_HH
+#define VANS_COMMON_FLAT_LRU_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hh"
+#include "common/types.hh"
+
+namespace vans
+{
+
+/** Flat array-backed LRU set of addresses. */
+class FlatLru
+{
+  public:
+    static constexpr std::uint32_t npos = 0xffffffffu;
+
+    explicit FlatLru(std::size_t cap)
+        : capSlots(static_cast<std::uint32_t>(cap)),
+          keys(cap),
+          prev(cap, npos),
+          next(cap, npos)
+    {
+        VANS_REQUIRE("flat-lru", 0, cap > 0 && cap < npos,
+                     "invalid LRU capacity %zu", cap);
+        std::size_t buckets = 4;
+        while (buckets < cap * 2)
+            buckets *= 2;
+        table.assign(buckets, 0);
+    }
+
+    std::size_t size() const { return numUsed; }
+    std::size_t capacity() const { return capSlots; }
+    bool full() const { return numUsed == capSlots; }
+
+    bool contains(Addr key) const { return find(key) != npos; }
+
+    /** Move @p key to MRU. @return false when absent. */
+    bool
+    touch(Addr key)
+    {
+        std::uint32_t slot = find(key);
+        if (slot == npos)
+            return false;
+        moveToFront(slot);
+        return true;
+    }
+
+    /**
+     * Insert @p key at MRU (must be absent). When full, the LRU key
+     * is evicted first and stored in @p evicted.
+     * @return true when an eviction happened.
+     */
+    bool
+    insert(Addr key, Addr &evicted)
+    {
+        VANS_REQUIRE("flat-lru", 0, find(key) == npos,
+                     "inserting a present key");
+        bool evictedAny = false;
+        if (numUsed == capSlots) {
+            evicted = keys[tail];
+            evictedAny = true;
+            std::uint32_t victim = tail;
+            unlink(victim);
+            hashErase(keys[victim]);
+            --numUsed;
+            fill(victim, key);
+        } else {
+            fill(static_cast<std::uint32_t>(numUsed), key);
+        }
+        return evictedAny;
+    }
+
+    /** Remove @p key. @return false when absent. */
+    bool
+    erase(Addr key)
+    {
+        std::uint32_t slot = find(key);
+        if (slot == npos)
+            return false;
+        unlink(slot);
+        hashErase(key);
+        --numUsed;
+        // Keep the slot storage compact: move the last used slot's
+        // contents into the freed slot so slots [0, numUsed) stay
+        // the live ones.
+        std::uint32_t last = static_cast<std::uint32_t>(numUsed);
+        if (slot != last)
+            relocateSlot(last, slot);
+        return true;
+    }
+
+    /** The key that insert() would evict next (size() > 0). */
+    Addr
+    lruKey() const
+    {
+        VANS_REQUIRE("flat-lru", 0, numUsed > 0,
+                     "lruKey() on an empty LRU");
+        return keys[tail];
+    }
+
+    /** Visit keys from MRU to LRU. */
+    template <typename Fn>
+    void
+    forEachMruToLru(Fn &&fn) const
+    {
+        for (std::uint32_t s = head; s != npos; s = next[s])
+            fn(keys[s]);
+    }
+
+    void
+    clear()
+    {
+        numUsed = 0;
+        head = tail = npos;
+        std::fill(table.begin(), table.end(), 0u);
+    }
+
+  private:
+    static std::uint64_t
+    mix(Addr key)
+    {
+        std::uint64_t z = key + 0x9e3779b97f4a7c15ull;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    std::size_t homeOf(Addr key) const
+    {
+        return mix(key) & (table.size() - 1);
+    }
+
+    /** Slot holding @p key, or npos. */
+    std::uint32_t
+    find(Addr key) const
+    {
+        std::size_t mask = table.size() - 1;
+        std::size_t i = homeOf(key);
+        while (table[i] != 0) {
+            std::uint32_t slot = table[i] - 1;
+            if (keys[slot] == key)
+                return slot;
+            i = (i + 1) & mask;
+        }
+        return npos;
+    }
+
+    void
+    hashInsert(Addr key, std::uint32_t slot)
+    {
+        std::size_t mask = table.size() - 1;
+        std::size_t i = homeOf(key);
+        while (table[i] != 0)
+            i = (i + 1) & mask;
+        table[i] = slot + 1;
+    }
+
+    /** Point the table entry for @p key at @p slot. */
+    void
+    hashRepoint(Addr key, std::uint32_t slot)
+    {
+        std::size_t mask = table.size() - 1;
+        std::size_t i = homeOf(key);
+        while (table[i] == 0 || keys[table[i] - 1] != key)
+            i = (i + 1) & mask;
+        table[i] = slot + 1;
+    }
+
+    /** Linear-probing erase with backward-shift compaction. */
+    void
+    hashErase(Addr key)
+    {
+        std::size_t mask = table.size() - 1;
+        std::size_t i = homeOf(key);
+        while (table[i] == 0 || keys[table[i] - 1] != key)
+            i = (i + 1) & mask;
+        std::size_t j = i;
+        for (;;) {
+            j = (j + 1) & mask;
+            if (table[j] == 0)
+                break;
+            std::size_t home = homeOf(keys[table[j] - 1]);
+            // table[j] may fill the hole at i only if its home
+            // position is not cyclically within (i, j].
+            bool keeps = (i <= j) ? (home > i && home <= j)
+                                  : (home > i || home <= j);
+            if (!keeps) {
+                table[i] = table[j];
+                i = j;
+            }
+        }
+        table[i] = 0;
+    }
+
+    void
+    unlink(std::uint32_t slot)
+    {
+        std::uint32_t p = prev[slot];
+        std::uint32_t n = next[slot];
+        if (p != npos)
+            next[p] = n;
+        else
+            head = n;
+        if (n != npos)
+            prev[n] = p;
+        else
+            tail = p;
+    }
+
+    void
+    linkFront(std::uint32_t slot)
+    {
+        prev[slot] = npos;
+        next[slot] = head;
+        if (head != npos)
+            prev[head] = slot;
+        head = slot;
+        if (tail == npos)
+            tail = slot;
+    }
+
+    void
+    moveToFront(std::uint32_t slot)
+    {
+        if (head == slot)
+            return;
+        unlink(slot);
+        linkFront(slot);
+    }
+
+    /** Put @p key into unused @p slot, link MRU, index it. */
+    void
+    fill(std::uint32_t slot, Addr key)
+    {
+        keys[slot] = key;
+        linkFront(slot);
+        hashInsert(key, slot);
+        ++numUsed;
+    }
+
+    /** Move live slot @p from into free slot @p to, fixing links. */
+    void
+    relocateSlot(std::uint32_t from, std::uint32_t to)
+    {
+        keys[to] = keys[from];
+        prev[to] = prev[from];
+        next[to] = next[from];
+        if (prev[to] != npos)
+            next[prev[to]] = to;
+        else
+            head = to;
+        if (next[to] != npos)
+            prev[next[to]] = to;
+        else
+            tail = to;
+        hashRepoint(keys[to], to);
+    }
+
+    std::uint32_t capSlots;
+    std::vector<Addr> keys;
+    std::vector<std::uint32_t> prev;
+    std::vector<std::uint32_t> next;
+    /** Open-addressed table of slot+1 (0 = empty). */
+    std::vector<std::uint32_t> table;
+    std::size_t numUsed = 0;
+    std::uint32_t head = npos;
+    std::uint32_t tail = npos;
+};
+
+} // namespace vans
+
+#endif // VANS_COMMON_FLAT_LRU_HH

@@ -1,16 +1,23 @@
 /**
  * @file
- * Small-buffer-optimized move-only callable for the event kernel.
+ * Small-buffer-optimized move-only callable for the event kernel and
+ * the NVRAM completion-callback plumbing.
  *
  * std::function heap-allocates for any capture larger than (libstdc++)
  * two pointers and copy-constructs the capture on every copy. Event
  * callbacks in this simulator are almost always lambdas capturing a
  * handful of pointers/references, are invoked exactly once, and never
- * need to be copied. InplaceCallback exploits that profile: captures
+ * need to be copied. InplaceFunction exploits that profile: captures
  * up to `inlineCapacity` bytes live inline in the object (no
  * allocation on schedule), larger captures fall back to a single heap
  * cell, and the type is move-only so the kernel can move callbacks
  * out of its slab instead of copying them.
+ *
+ * The primary template is signature-parameterized so the same storage
+ * scheme serves the event kernel (`InplaceCallback` = void()) and the
+ * per-request DoneCallbacks (`void(Tick)`) plus the AIT's model hooks
+ * (`void(Addr, Tick)`, `bool(Addr)`) without reintroducing
+ * std::function anywhere on the event path.
  */
 
 #ifndef VANS_COMMON_INPLACE_FUNCTION_HH
@@ -24,23 +31,29 @@
 namespace vans
 {
 
-/** Move-only `void()` callable with inline small-capture storage. */
-class InplaceCallback
+template <typename Signature>
+class InplaceFunction; // primary left undefined; see specialization
+
+/** Move-only `R(Args...)` callable with inline small-capture storage. */
+template <typename R, typename... Args>
+class InplaceFunction<R(Args...)>
 {
   public:
     /** Captures up to this many bytes are stored without allocating. */
     static constexpr std::size_t inlineCapacity = 48;
 
-    InplaceCallback() noexcept = default;
+    InplaceFunction() noexcept = default;
+    InplaceFunction(std::nullptr_t) noexcept {} // NOLINT: implicit
 
     template <typename F,
-              typename = std::enable_if_t<!std::is_same_v<
-                  std::decay_t<F>, InplaceCallback>>>
-    InplaceCallback(F &&f) // NOLINT: intentional implicit conversion
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InplaceFunction> &&
+                  !std::is_same_v<std::decay_t<F>, std::nullptr_t>>>
+    InplaceFunction(F &&f) // NOLINT: intentional implicit conversion
     {
         using Fn = std::decay_t<F>;
-        static_assert(std::is_invocable_r_v<void, Fn &>,
-                      "InplaceCallback requires a void() callable");
+        static_assert(std::is_invocable_r_v<R, Fn &, Args...>,
+                      "callable is not invocable with this signature");
         if constexpr (fitsInline<Fn>()) {
             ::new (static_cast<void *>(storage))
                 Fn(std::forward<F>(f));
@@ -52,13 +65,13 @@ class InplaceCallback
         }
     }
 
-    InplaceCallback(InplaceCallback &&other) noexcept
+    InplaceFunction(InplaceFunction &&other) noexcept
     {
         moveFrom(std::move(other));
     }
 
-    InplaceCallback &
-    operator=(InplaceCallback &&other) noexcept
+    InplaceFunction &
+    operator=(InplaceFunction &&other) noexcept
     {
         if (this != &other) {
             reset();
@@ -67,13 +80,24 @@ class InplaceCallback
         return *this;
     }
 
-    InplaceCallback(const InplaceCallback &) = delete;
-    InplaceCallback &operator=(const InplaceCallback &) = delete;
+    InplaceFunction &
+    operator=(std::nullptr_t) noexcept
+    {
+        reset();
+        return *this;
+    }
 
-    ~InplaceCallback() { reset(); }
+    InplaceFunction(const InplaceFunction &) = delete;
+    InplaceFunction &operator=(const InplaceFunction &) = delete;
+
+    ~InplaceFunction() { reset(); }
 
     /** Invoke the stored callable (must be non-empty). */
-    void operator()() { ops->invoke(storage); }
+    R
+    operator()(Args... args)
+    {
+        return ops->invoke(storage, std::forward<Args>(args)...);
+    }
 
     explicit operator bool() const noexcept { return ops != nullptr; }
 
@@ -108,7 +132,7 @@ class InplaceCallback
     /** Static per-type vtable: invoke / destroy / relocate. */
     struct Ops
     {
-        void (*invoke)(void *);
+        R (*invoke)(void *, Args &&...);
         void (*destroy)(void *) noexcept;
         void (*relocate)(void *dst, void *src) noexcept;
         bool onHeap;
@@ -116,7 +140,10 @@ class InplaceCallback
 
     template <typename Fn>
     static constexpr Ops inlineOps = {
-        [](void *s) { (*std::launder(reinterpret_cast<Fn *>(s)))(); },
+        [](void *s, Args &&...args) -> R {
+            return (*std::launder(reinterpret_cast<Fn *>(s)))(
+                std::forward<Args>(args)...);
+        },
         [](void *s) noexcept {
             std::launder(reinterpret_cast<Fn *>(s))->~Fn();
         },
@@ -130,7 +157,10 @@ class InplaceCallback
 
     template <typename Fn>
     static constexpr Ops heapOps = {
-        [](void *s) { (**reinterpret_cast<Fn **>(s))(); },
+        [](void *s, Args &&...args) -> R {
+            return (**reinterpret_cast<Fn **>(s))(
+                std::forward<Args>(args)...);
+        },
         [](void *s) noexcept { delete *reinterpret_cast<Fn **>(s); },
         [](void *dst, void *src) noexcept {
             *reinterpret_cast<Fn **>(dst) =
@@ -140,7 +170,7 @@ class InplaceCallback
     };
 
     void
-    moveFrom(InplaceCallback &&other) noexcept
+    moveFrom(InplaceFunction &&other) noexcept
     {
         if (other.ops) {
             ops = other.ops;
@@ -152,6 +182,9 @@ class InplaceCallback
     alignas(std::max_align_t) unsigned char storage[inlineCapacity];
     const Ops *ops = nullptr;
 };
+
+/** The event kernel's callback type. */
+using InplaceCallback = InplaceFunction<void()>;
 
 } // namespace vans
 

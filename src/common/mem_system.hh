@@ -17,8 +17,15 @@
 #include <memory>
 #include <string>
 
+#include "common/check.hh"
 #include "common/event_queue.hh"
 #include "common/request.hh"
+
+namespace vans::snapshot
+{
+class StateSink;
+class StateSource;
+} // namespace vans::snapshot
 
 namespace vans
 {
@@ -52,8 +59,48 @@ class MemorySystem
     /** Assign a fresh request id. */
     std::uint64_t nextRequestId() { return ++lastId; }
 
+    /**
+     * Warm-world fork support (common/snapshot.hh). A system that
+     * returns true from snapshotSupported() must implement the
+     * serialize/restore pair and a meaningful quiescent().
+     */
+    virtual bool snapshotSupported() const { return false; }
+
+    /**
+     * True when no request is in flight anywhere in the model (the
+     * snapshot precondition). Systems without snapshot support keep
+     * the trivial default.
+     */
+    virtual bool quiescent() const { return true; }
+
+    /** Serialize the full warm state into @p sink. */
+    virtual void
+    snapshotTo(snapshot::StateSink &sink) const
+    {
+        (void)sink;
+        VANS_REQUIRE("mem-system", eventq.curTick(), false,
+                     "snapshotTo on a system without snapshot "
+                     "support (%s)",
+                     name().c_str());
+    }
+
+    /** Restore state serialized by snapshotTo() into this instance. */
+    virtual void
+    restoreFrom(snapshot::StateSource &src)
+    {
+        (void)src;
+        VANS_REQUIRE("mem-system", eventq.curTick(), false,
+                     "restoreFrom on a system without snapshot "
+                     "support (%s)",
+                     name().c_str());
+    }
+
   protected:
     EventQueue &eventq;
+
+    /** Request-id counter access for snapshotTo/restoreFrom. */
+    std::uint64_t lastRequestId() const { return lastId; }
+    void setLastRequestId(std::uint64_t id) { lastId = id; }
 
   private:
     std::uint64_t lastId = 0;

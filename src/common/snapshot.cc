@@ -1,0 +1,196 @@
+#include "common/snapshot.hh"
+
+#include <cstring>
+
+#include "common/check.hh"
+#include "common/mem_system.hh"
+
+namespace vans::snapshot
+{
+
+// One-byte type codes prefixing every serialized value.
+static constexpr std::uint8_t kTag = 0xA0;
+static constexpr std::uint8_t kU64 = 0xA1;
+static constexpr std::uint8_t kF64 = 0xA2;
+static constexpr std::uint8_t kBool = 0xA3;
+static constexpr std::uint8_t kStr = 0xA4;
+
+void
+StateSink::raw(const void *p, std::size_t n)
+{
+    const auto *b = static_cast<const std::uint8_t *>(p);
+    bytes.insert(bytes.end(), b, b + n);
+}
+
+void
+StateSink::tag(const char *name)
+{
+    bytes.push_back(kTag);
+    std::uint64_t len = std::strlen(name);
+    raw(&len, sizeof(len));
+    raw(name, len);
+}
+
+void
+StateSink::u64(std::uint64_t v)
+{
+    bytes.push_back(kU64);
+    raw(&v, sizeof(v));
+}
+
+void
+StateSink::f64(double v)
+{
+    bytes.push_back(kF64);
+    raw(&v, sizeof(v));
+}
+
+void
+StateSink::boolean(bool v)
+{
+    bytes.push_back(kBool);
+    bytes.push_back(v ? 1 : 0);
+}
+
+void
+StateSink::str(const std::string &s)
+{
+    bytes.push_back(kStr);
+    std::uint64_t len = s.size();
+    raw(&len, sizeof(len));
+    raw(s.data(), len);
+}
+
+std::uint8_t
+StateSource::code(std::uint8_t expect)
+{
+    VANS_REQUIRE("snapshot", 0, off < bytes.size(),
+                 "state stream exhausted (wanted code 0x%02x)",
+                 expect);
+    std::uint8_t c = bytes[off++];
+    VANS_REQUIRE("snapshot", 0, c == expect,
+                 "state stream type mismatch: got 0x%02x, "
+                 "wanted 0x%02x at offset %zu",
+                 c, expect, off - 1);
+    return c;
+}
+
+void
+StateSource::raw(void *p, std::size_t n)
+{
+    VANS_REQUIRE("snapshot", 0, off + n <= bytes.size(),
+                 "state stream truncated (%zu wanted, %zu left)", n,
+                 bytes.size() - off);
+    std::memcpy(p, bytes.data() + off, n);
+    off += n;
+}
+
+void
+StateSource::tag(const char *name)
+{
+    code(kTag);
+    std::uint64_t len = 0;
+    raw(&len, sizeof(len));
+    VANS_REQUIRE("snapshot", 0, off + len <= bytes.size(),
+                 "state stream truncated inside tag");
+    std::string got(reinterpret_cast<const char *>(bytes.data() + off),
+                    len);
+    off += len;
+    VANS_REQUIRE("snapshot", 0, got == name,
+                 "section tag mismatch: stream has \"%s\", "
+                 "restorer wants \"%s\"",
+                 got.c_str(), name);
+}
+
+std::uint64_t
+StateSource::u64()
+{
+    code(kU64);
+    std::uint64_t v = 0;
+    raw(&v, sizeof(v));
+    return v;
+}
+
+double
+StateSource::f64()
+{
+    code(kF64);
+    double v = 0;
+    raw(&v, sizeof(v));
+    return v;
+}
+
+bool
+StateSource::boolean()
+{
+    code(kBool);
+    VANS_REQUIRE("snapshot", 0, off < bytes.size(),
+                 "state stream truncated inside bool");
+    return bytes[off++] != 0;
+}
+
+std::string
+StateSource::str()
+{
+    code(kStr);
+    std::uint64_t len = 0;
+    raw(&len, sizeof(len));
+    VANS_REQUIRE("snapshot", 0, off + len <= bytes.size(),
+                 "state stream truncated inside string");
+    std::string s(reinterpret_cast<const char *>(bytes.data() + off),
+                  len);
+    off += len;
+    return s;
+}
+
+WorldSnapshot
+WorldSnapshot::capture(EventQueue &eq, const MemorySystem &sys)
+{
+    VANS_REQUIRE("snapshot", eq.curTick(), sys.snapshotSupported(),
+                 "capture of a system without snapshot support");
+    VANS_REQUIRE("snapshot", eq.curTick(), sys.quiescent(),
+                 "capture of a non-quiescent world");
+    StateSink sink;
+    sink.tag("world");
+    eq.snapshotTo(sink);
+    sys.snapshotTo(sink);
+    sink.tag("world-end");
+    WorldSnapshot snap;
+    snap.image = sink.take();
+    return snap;
+}
+
+void
+WorldSnapshot::restoreInto(EventQueue &eq, MemorySystem &sys) const
+{
+    VANS_REQUIRE("snapshot", eq.curTick(), valid(),
+                 "restore from an empty snapshot");
+    VANS_REQUIRE("snapshot", eq.curTick(), sys.snapshotSupported(),
+                 "restore into a system without snapshot support");
+    StateSource src(image);
+    src.tag("world");
+    eq.restoreFrom(src);
+    sys.restoreFrom(src);
+    src.tag("world-end");
+    VANS_REQUIRE("snapshot", eq.curTick(), src.exhausted(),
+                 "trailing bytes after world restore");
+}
+
+void
+awaitQuiescence(EventQueue &eq, MemorySystem &sys,
+                std::uint64_t maxEvents)
+{
+    std::uint64_t steps = 0;
+    while (!sys.quiescent()) {
+        VANS_REQUIRE("snapshot", eq.curTick(), !eq.empty(),
+                     "queue drained but %s never became quiescent",
+                     sys.name().c_str());
+        VANS_REQUIRE("snapshot", eq.curTick(), steps < maxEvents,
+                     "no quiescence after %llu events",
+                     static_cast<unsigned long long>(maxEvents));
+        eq.step();
+        ++steps;
+    }
+}
+
+} // namespace vans::snapshot

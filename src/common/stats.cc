@@ -3,6 +3,9 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/check.hh"
+#include "common/snapshot.hh"
+
 namespace vans
 {
 
@@ -61,6 +64,77 @@ StatGroup::reset()
         kv.second.reset();
     for (auto &kv : averages)
         kv.second.reset();
+}
+
+void
+StatGroup::snapshotTo(snapshot::StateSink &sink) const
+{
+    sink.tag("stats");
+    sink.str(groupName);
+    sink.u64(scalars.size());
+    for (const auto &kv : scalars) { // std::map: sorted, stable
+        sink.str(kv.first);
+        sink.u64(kv.second.value());
+    }
+    sink.u64(averages.size());
+    for (const auto &kv : averages) {
+        sink.str(kv.first);
+        sink.f64(kv.second.rawSum());
+        sink.u64(kv.second.count());
+        sink.f64(kv.second.rawMin());
+        sink.f64(kv.second.rawMax());
+    }
+}
+
+void
+StatGroup::restoreFrom(snapshot::StateSource &src)
+{
+    src.tag("stats");
+    std::string name = src.str();
+    VANS_REQUIRE("stats", 0, name == groupName,
+                 "stat group mismatch: stream has \"%s\", "
+                 "restorer is \"%s\"",
+                 name.c_str(), groupName.c_str());
+    scalars.clear();
+    averages.clear();
+    std::uint64_t ns = src.u64();
+    for (std::uint64_t i = 0; i < ns; ++i) {
+        std::string key = src.str();
+        scalars[key].set(src.u64());
+    }
+    std::uint64_t na = src.u64();
+    for (std::uint64_t i = 0; i < na; ++i) {
+        std::string key = src.str();
+        double sum = src.f64();
+        std::uint64_t cnt = src.u64();
+        double lo = src.f64();
+        double hi = src.f64();
+        averages[key].restoreRaw(sum, cnt, lo, hi);
+    }
+}
+
+bool
+StatGroup::identicalTo(const StatGroup &other) const
+{
+    if (scalars.size() != other.scalars.size() ||
+        averages.size() != other.averages.size())
+        return false;
+    for (const auto &kv : scalars) {
+        auto it = other.scalars.find(kv.first);
+        if (it == other.scalars.end() ||
+            it->second.value() != kv.second.value())
+            return false;
+    }
+    for (const auto &kv : averages) {
+        auto it = other.averages.find(kv.first);
+        if (it == other.averages.end() ||
+            it->second.rawSum() != kv.second.rawSum() ||
+            it->second.count() != kv.second.count() ||
+            it->second.rawMin() != kv.second.rawMin() ||
+            it->second.rawMax() != kv.second.rawMax())
+            return false;
+    }
+    return true;
 }
 
 } // namespace vans

@@ -18,6 +18,12 @@
 #include <string>
 #include <vector>
 
+namespace vans::snapshot
+{
+class StateSink;
+class StateSource;
+} // namespace vans::snapshot
+
 namespace vans
 {
 
@@ -59,6 +65,22 @@ class StatAverage
         n = 0;
         lo = std::numeric_limits<double>::max();
         hi = std::numeric_limits<double>::lowest();
+    }
+
+    /**
+     * Raw state access for snapshot serialization (mean()*count()
+     * would not round-trip the sum bit-exactly).
+     */
+    double rawSum() const { return sum; }
+    double rawMin() const { return lo; }
+    double rawMax() const { return hi; }
+    void
+    restoreRaw(double s, std::uint64_t cnt, double l, double h)
+    {
+        sum = s;
+        n = cnt;
+        lo = l;
+        hi = h;
     }
 
   private:
@@ -145,6 +167,15 @@ class StatGroup
     std::string dump() const;
 
     void reset();
+
+    /** Serialize every scalar and average (by name, bit-exact). */
+    void snapshotTo(snapshot::StateSink &sink) const;
+
+    /** Restore stats serialized by snapshotTo(). */
+    void restoreFrom(snapshot::StateSource &src);
+
+    /** True when both groups hold identical stats (test helper). */
+    bool identicalTo(const StatGroup &other) const;
 
   private:
     std::string groupName;

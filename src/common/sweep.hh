@@ -9,6 +9,14 @@
  * collected by index, the output is bit-identical whatever the
  * thread count -- SweepRunner(1) is the reference serial execution
  * the tests compare against.
+ *
+ * Warm-once mode: many sweeps run an identical warm-up phase at
+ * every point before the point-specific measurement. mapFromWarm()
+ * runs that warm-up exactly once on a prototype world, captures a
+ * WorldSnapshot at quiescence, and restores it into each point's
+ * fresh world in O(state) -- bit-identical to the cold-per-point
+ * run (the fork-fidelity tests assert this), at a fraction of the
+ * wall clock.
  */
 
 #ifndef VANS_COMMON_SWEEP_HH
@@ -19,7 +27,10 @@
 #include <memory>
 #include <vector>
 
+#include "common/event_queue.hh"
+#include "common/mem_system.hh"
 #include "common/parallel.hh"
+#include "common/snapshot.hh"
 
 namespace vans
 {
@@ -43,12 +54,13 @@ class SweepRunner
 
     /**
      * Evaluate fn(i) for i in [0, n); results collected in index
-     * order. R must be default-constructible and movable.
+     * order. R must be default-constructible and movable. The
+     * callable is taken as a template parameter -- no wrapping into
+     * std::function on the serial path.
      */
-    template <typename R>
+    template <typename R, typename Fn>
     std::vector<R>
-    map(std::size_t n,
-        const std::function<R(std::size_t)> &fn) const
+    map(std::size_t n, Fn &&fn) const
     {
         std::vector<R> out(n);
         forEach(n, [&out, &fn](std::size_t i) { out[i] = fn(i); });
@@ -56,16 +68,106 @@ class SweepRunner
     }
 
     /** Run fn(i) for i in [0, n) with no result collection. */
+    template <typename Fn>
     void
-    forEach(std::size_t n,
-            const std::function<void(std::size_t)> &fn) const
+    forEach(std::size_t n, Fn &&fn) const
     {
         if (threads <= 1) {
             for (std::size_t i = 0; i < n; ++i)
                 fn(i);
             return;
         }
-        parallelFor(n, fn, ownPool.get());
+        // Only the parallel path pays the type-erasure toll, and
+        // there it is one std::function per sweep, not per point.
+        parallelFor(n, std::function<void(std::size_t)>(
+                           [&fn](std::size_t i) { fn(i); }),
+                    ownPool.get());
+    }
+
+    /**
+     * A captured warm world: the reusable product of warmOnce().
+     * Holds the factory, the warm-up routine (for the cold fallback)
+     * and, when the system supports snapshotting, the WorldSnapshot
+     * taken at quiescence. One WarmStart can feed any number of
+     * mapForked() sweeps -- multi-stage probers warm once and fork
+     * every stage from the same image.
+     */
+    struct WarmStart
+    {
+        SystemFactory factory;
+        std::function<void(MemorySystem &)> warm;
+        snapshot::WorldSnapshot snap; ///< empty => cold fallback
+
+        bool forked() const { return snap.valid(); }
+    };
+
+    /**
+     * Run @p warm on one prototype world built from @p factory, step
+     * it to quiescence and capture its snapshot. When the factory's
+     * system does not support snapshots, the returned WarmStart
+     * instead remembers @p warm so mapForked() can re-run it per
+     * point (the cold fallback).
+     */
+    WarmStart
+    warmOnce(const SystemFactory &factory,
+             std::function<void(MemorySystem &)> warm) const
+    {
+        WarmStart ws;
+        ws.factory = factory;
+        ws.warm = std::move(warm);
+        EventQueue eq;
+        std::unique_ptr<MemorySystem> proto = ws.factory(eq);
+        if (proto->snapshotSupported()) {
+            ws.warm(*proto);
+            snapshot::awaitQuiescence(eq, *proto);
+            ws.snap = snapshot::WorldSnapshot::capture(eq, *proto);
+        }
+        return ws;
+    }
+
+    /**
+     * Evaluate fn(MemorySystem&, i) for i in [0, n), each point on a
+     * freshly built world forked from @p ws: restored from its
+     * snapshot in O(state), or -- cold fallback -- re-warmed from
+     * scratch. Either way every point sees the identical quiescent
+     * warm state, so results are bit-identical to the serial
+     * cold-per-point run whatever the thread count.
+     */
+    template <typename R, typename PointFn>
+    std::vector<R>
+    mapForked(const WarmStart &ws, std::size_t n, PointFn &&fn) const
+    {
+        std::vector<R> out(n);
+        forEach(n, [&](std::size_t i) {
+            EventQueue eq;
+            std::unique_ptr<MemorySystem> sys = ws.factory(eq);
+            if (ws.snap.valid()) {
+                ws.snap.restoreInto(eq, *sys);
+            } else {
+                ws.warm(*sys);
+                snapshot::awaitQuiescence(eq, *sys);
+            }
+            out[i] = fn(*sys, i);
+        });
+        return out;
+    }
+
+    /**
+     * Warm-once / fork-many sweep: warmOnce() + one mapForked().
+     * Builds one prototype world from @p factory, runs
+     * warm(MemorySystem&) on it, steps it to quiescence and captures
+     * a WorldSnapshot; then evaluates fn(MemorySystem&, i) for i in
+     * [0, n), each point on a freshly built world restored from the
+     * snapshot (or re-warmed, for systems without snapshot support).
+     */
+    template <typename R, typename WarmFn, typename PointFn>
+    std::vector<R>
+    mapFromWarm(const SystemFactory &factory, WarmFn &&warm,
+                std::size_t n, PointFn &&fn) const
+    {
+        return mapForked<R>(
+            warmOnce(factory, std::forward<WarmFn>(warm)), n,
+            std::forward<PointFn>(fn));
     }
 
     unsigned threadCount() const { return threads; }

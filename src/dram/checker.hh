@@ -38,6 +38,12 @@
 #include "dram/command.hh"
 #include "dram/timing.hh"
 
+namespace vans::snapshot
+{
+class StateSink;
+class StateSource;
+} // namespace vans::snapshot
+
 namespace vans::dram
 {
 
@@ -69,6 +75,15 @@ class Ddr4Checker
 
     /** Drop all per-stream state and findings. */
     void reset();
+
+    /**
+     * Serialize the re-derived protocol state so a restored
+     * controller's checker picks up mid-stream (a fresh checker
+     * would flag CAS commands to rows it never saw opened).
+     * Requires a clean checker (no accumulated violations).
+     */
+    void snapshotTo(snapshot::StateSink &sink) const;
+    void restoreFrom(snapshot::StateSource &src);
 
   private:
     struct CheckBank

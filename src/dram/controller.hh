@@ -21,12 +21,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <list>
 #include <memory>
 #include <vector>
 
 #include "common/event_queue.hh"
+#include "common/inplace_function.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "dram/address_map.hh"
@@ -48,7 +48,7 @@ enum class SchedPolicy : std::uint8_t
 class DramController
 {
   public:
-    using DoneCallback = std::function<void(Tick)>;
+    using DoneCallback = InplaceFunction<void(Tick)>;
 
     DramController(EventQueue &eq, const DramTiming &timing,
                    const DramGeometry &geometry,
@@ -93,6 +93,15 @@ class DramController
 
     const DramTiming &timing() const { return spec; }
     const DramGeometry &geometry() const { return map.geometry(); }
+
+    /**
+     * Serialize bank/timing state, stats and (when present) the
+     * online checker. Requires empty request queues; the command
+     * trace is not preserved (a restored world records a fresh
+     * trace). The pending refresh wakeup is re-armed on restore.
+     */
+    void snapshotTo(snapshot::StateSink &sink) const;
+    void restoreFrom(snapshot::StateSource &src);
 
   private:
     struct Parent

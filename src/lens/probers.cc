@@ -51,6 +51,29 @@ withFreshSystem(const SystemFactory &factory, Fn &&fn)
     return fn(drv);
 }
 
+/**
+ * Shared read-only warm phase for forked sweeps: one touch per 4KB
+ * page over each span, streamed with moderate overlap. This restores
+ * the translation/buffer residency a long-running serial sweep
+ * leaves behind, and because it is read-only it leaves the wear
+ * state untouched -- every forked point still starts from virgin
+ * wear counters, exactly like the cold reference run.
+ */
+void
+warmCoverage(MemorySystem &sys,
+             const std::vector<std::pair<Addr, std::uint64_t>> &spans)
+{
+    Driver drv(sys);
+    std::vector<Addr> touch;
+    for (const auto &[base, bytes] : spans) {
+        for (Addr a = alignDown(base, 4096); a < base + bytes;
+             a += 4096)
+            touch.push_back(a);
+    }
+    drv.streamReads(touch, 16);
+    drv.fence();
+}
+
 // ---- Per-point measurement bodies ---------------------------------
 //
 // Each function below is one self-contained sweep point, shared by
@@ -158,15 +181,22 @@ writeAmpPoint(Driver &drv, Addr base, std::uint64_t fit_region,
     return fit > 0 ? ov / fit : 0.0;
 }
 
+/** Base of wear-granularity point @p point: offset so power-of-two
+ *  regions straddle wear blocks the way an arbitrary software
+ *  allocation would. */
+Addr
+tailBase(const PolicyProberParams &p, std::size_t point)
+{
+    return p.base + (1ull << 30) +
+           (static_cast<Addr>(point) << 26) + (32ull << 10);
+}
+
 /** One wear-granularity point (Fig 7c): tails per kilo-write. */
 double
 tailRatioPoint(Driver &drv, const PolicyProberParams &p,
                std::uint64_t region, std::size_t point)
 {
-    // Offset the base so power-of-two regions straddle wear blocks
-    // the way an arbitrary software allocation would.
-    Addr base = p.base + (1ull << 30) +
-                (static_cast<Addr>(point) << 26) + (32ull << 10);
+    Addr base = tailBase(p, point);
     std::uint64_t iters =
         std::max<std::uint64_t>(p.tailSweepBytes / region, 4);
     auto sweep_ow = overwrite(drv, base, region, iters);
@@ -396,6 +426,15 @@ runBufferProber(const SystemFactory &factory,
 
     auto regions = logSweep(p.minRegion, p.maxRegion);
 
+    // Warm once: page-granular read coverage of the whole sweep
+    // span, captured at quiescence. Every stage below forks its
+    // points from this one image in O(state) instead of re-warming
+    // a fresh world per point (cold fallback when the system cannot
+    // snapshot).
+    auto ws = sweep.warmOnce(factory, [&p](MemorySystem &sys) {
+        warmCoverage(sys, {{p.base, p.maxRegion}});
+    });
+
     // ---- Stage 1: both latency sweeps as one flat point batch ----
     struct LatDesc
     {
@@ -411,14 +450,13 @@ runBufferProber(const SystemFactory &factory,
             lat.push_back({region, 256, region + 7});
     }
 
-    auto lat_res = sweep.map<LatPoint>(
-        lat.size(), [&](std::size_t i) {
-            return withFreshSystem(factory, [&](Driver &drv) {
-                // coverageWarm: a cloned point starts cold; restore
-                // the residency a long-running sweep would have.
-                return latencyPoint(drv, p, lat[i].region,
-                                    lat[i].block, lat[i].seed, true);
-            });
+    auto lat_res = sweep.mapForked<LatPoint>(
+        ws, lat.size(), [&](MemorySystem &sys, std::size_t i) {
+            Driver drv(sys);
+            // coverageWarm on top of the shared image: region-local
+            // residency is still each point's own.
+            return latencyPoint(drv, p, lat[i].region, lat[i].block,
+                                lat[i].seed, true);
         });
     for (std::size_t i = 0; i < lat.size(); ++i) {
         double x = static_cast<double>(lat[i].region);
@@ -440,11 +478,10 @@ runBufferProber(const SystemFactory &factory,
         if (region <= (cap_l2 * 4) && region >= 64)
             raw_regions.push_back(region);
     }
-    auto raw_res = sweep.map<double>(
-        raw_regions.size(), [&](std::size_t i) {
-            return withFreshSystem(factory, [&](Driver &drv) {
-                return rawPoint(drv, p.base, raw_regions[i]);
-            });
+    auto raw_res = sweep.mapForked<double>(
+        ws, raw_regions.size(), [&](MemorySystem &sys, std::size_t i) {
+            Driver drv(sys);
+            return rawPoint(drv, p.base, raw_regions[i]);
         });
     for (std::size_t i = 0; i < raw_regions.size(); ++i) {
         double x = static_cast<double>(raw_regions[i]);
@@ -473,23 +510,22 @@ runBufferProber(const SystemFactory &factory,
             amps.push_back({true, true, block});
         }
     }
-    auto amp_res = sweep.map<double>(
-        amps.size(), [&, cl1 = cap_l1, cl2 = cap_l2, wl1 = wq_l1,
-                      wl2 = wq_l2](std::size_t i) {
+    auto amp_res = sweep.mapForked<double>(
+        ws, amps.size(),
+        [&, cl1 = cap_l1, cl2 = cap_l2, wl1 = wq_l1,
+         wl2 = wq_l2](MemorySystem &sys, std::size_t i) {
             const AmpDesc &d = amps[i];
-            return withFreshSystem(factory, [&](Driver &drv) {
-                if (d.write) {
-                    std::uint64_t fit = d.level2 ? wl2 / 2 : wl1 / 2;
-                    std::uint64_t ov = d.level2 ? wl2 * 4 : wl1 * 4;
-                    return writeAmpPoint(drv, p.base, fit, ov,
-                                         d.block, true);
-                }
-                std::uint64_t fit = d.level2 ? cl2 / 2 : cl1 / 2;
-                std::uint64_t ov =
-                    d.level2 ? cl2 * 4 : std::min(cl1 * 4, cl2 / 4);
-                return readAmpPoint(drv, p.base, fit, ov, d.block,
-                                    true);
-            });
+            Driver drv(sys);
+            if (d.write) {
+                std::uint64_t fit = d.level2 ? wl2 / 2 : wl1 / 2;
+                std::uint64_t ov = d.level2 ? wl2 * 4 : wl1 * 4;
+                return writeAmpPoint(drv, p.base, fit, ov, d.block,
+                                     true);
+            }
+            std::uint64_t fit = d.level2 ? cl2 / 2 : cl1 / 2;
+            std::uint64_t ov =
+                d.level2 ? cl2 * 4 : std::min(cl1 * 4, cl2 / 4);
+            return readAmpPoint(drv, p.base, fit, ov, d.block, true);
         });
     for (std::size_t i = 0; i < amps.size(); ++i) {
         const AmpDesc &d = amps[i];
@@ -532,18 +568,30 @@ runPolicyProber(const SystemFactory &factory,
 {
     PolicyProbe out;
 
+    // Warm once: read coverage of every region the points will
+    // overwrite. Read-only, so the forked points' wear counters
+    // start from zero exactly as in the cold run -- the migration
+    // tails are the signal and must not be pre-aged.
+    auto ws = sweep.warmOnce(factory, [&p](MemorySystem &sys) {
+        std::vector<std::pair<Addr, std::uint64_t>> spans;
+        spans.emplace_back(p.base, 4096);
+        for (std::size_t i = 0; i < p.tailRegions.size(); ++i)
+            spans.emplace_back(tailBase(p, i), p.tailRegions[i]);
+        warmCoverage(sys, spans);
+    });
+
     // The overwrite series is one long dependent run; the region
     // sweep fans out. Run the former as point 0 alongside the sweep.
-    auto ratios = sweep.map<double>(
-        p.tailRegions.size() + 1, [&](std::size_t i) {
-            return withFreshSystem(factory, [&](Driver &drv) {
-                if (i == 0) {
-                    analyzeOverwriteTail(drv, p, out);
-                    return 0.0;
-                }
-                return tailRatioPoint(drv, p, p.tailRegions[i - 1],
-                                      i - 1);
-            });
+    auto ratios = sweep.mapForked<double>(
+        ws, p.tailRegions.size() + 1,
+        [&](MemorySystem &sys, std::size_t i) {
+            Driver drv(sys);
+            if (i == 0) {
+                analyzeOverwriteTail(drv, p, out);
+                return 0.0;
+            }
+            return tailRatioPoint(drv, p, p.tailRegions[i - 1],
+                                  i - 1);
         });
     for (std::size_t i = 0; i < p.tailRegions.size(); ++i) {
         out.tailRatioCurve.add(static_cast<double>(p.tailRegions[i]),
@@ -582,6 +630,9 @@ runInterleaveProbe(const SystemFactory &interleavedFactory,
         double interleaved = 0;
         double single = 0;
     };
+    // Deliberately cold (no warm fork): the interleave detector's
+    // signal is a fresh DIMM's WPQ absorbing a write burst, so every
+    // point must start from untouched queues.
     auto res = sweep.map<Pair>(sizes.size(), [&](std::size_t i) {
         Pair pt;
         pt.interleaved =

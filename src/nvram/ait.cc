@@ -1,7 +1,10 @@
 #include "nvram/ait.hh"
 
+#include <vector>
+
 #include "common/check.hh"
 #include "common/logging.hh"
+#include "common/snapshot.hh"
 
 namespace vans::nvram
 {
@@ -29,6 +32,8 @@ Ait::Ait(EventQueue &eq, const NvramConfig &config,
       dram(eq, config.dramTiming, onDimmDramGeometry(),
            dram::SchedPolicy::FRFCFS, dram::MapScheme::RowBankCol,
            name + ".dram"),
+      bufLru(config.aitBufEntries),
+      tlc(tlcCapacity),
       statGroup(name)
 {}
 
@@ -65,56 +70,39 @@ Ait::mediaAddrOf(Addr addr) const
 bool
 Ait::tableCacheHit(Addr page)
 {
-    auto it = tlcMap.find(page);
-    if (it == tlcMap.end())
-        return false;
-    tlcLru.splice(tlcLru.begin(), tlcLru, it->second);
-    return true;
+    return tlc.touch(page);
 }
 
 void
 Ait::tableCacheInsert(Addr page)
 {
-    if (tlcMap.count(page))
+    if (tlc.contains(page))
         return;
-    tlcLru.push_front(page);
-    tlcMap[page] = tlcLru.begin();
-    while (tlcLru.size() > tlcCapacity) {
-        tlcMap.erase(tlcLru.back());
-        tlcLru.pop_back();
-    }
+    Addr evicted = 0;
+    tlc.insert(page, evicted);
 }
 
 bool
 Ait::bufferHit(Addr page)
 {
-    auto it = bufferMap.find(page);
-    if (it == bufferMap.end())
-        return false;
-    lru.splice(lru.begin(), lru, it->second);
-    return true;
+    return bufLru.touch(page);
 }
 
 void
 Ait::installPage(Addr page)
 {
-    if (bufferMap.count(page))
+    if (bufLru.contains(page))
         return;
-    if (lru.size() >= cfg.aitBufEntries) {
-        // Write-through buffer: the victim is never dirty, drop it.
-        bufferMap.erase(lru.back().page);
-        lru.pop_back();
+    // Write-through buffer: the victim is never dirty, drop it.
+    Addr evicted = 0;
+    if (bufLru.insert(page, evicted))
         statGroup.scalar("buf_evictions").inc();
-    }
-    lru.push_front(BufferEntry{page, true});
-    bufferMap[page] = lru.begin();
-    // Map and LRU list index the same resident set, bounded by the
-    // 4096 x 4KB (16MB) on-DIMM DRAM budget.
+    // The resident set is bounded by the 4096 x 4KB (16MB) on-DIMM
+    // DRAM budget.
     VANS_AUDIT("ait", eventq.curTick(),
-               lru.size() == bufferMap.size() &&
-                   bufferMap.size() <= cfg.aitBufEntries,
-               "buffer books diverged: lru %zu, map %zu, cap %u",
-               lru.size(), bufferMap.size(), cfg.aitBufEntries);
+               bufLru.size() <= cfg.aitBufEntries,
+               "buffer books diverged: lru %zu, cap %u",
+               bufLru.size(), cfg.aitBufEntries);
 }
 
 void
@@ -127,11 +115,15 @@ Ait::read(Addr addr, DoneCallback done)
     if (preTranslationFetch) {
         // One extra on-DIMM DRAM access fetches the Pre-translation
         // entry linked from the AIT entry (paper Fig 13b step 2-3).
+        // The hook member is consulted again at completion time (it
+        // is installed once at setup and never swapped mid-run).
         Addr pt_addr = tableEntryAddr(page) + 8;
-        auto hook = preTranslationFetch;
-        eventq.schedule(tag_done, [this, pt_addr, addr, hook] {
+        eventq.schedule(tag_done, [this, pt_addr, addr] {
             dram.access(pt_addr, false, cacheLineSize,
-                        [hook, addr](Tick t) { hook(addr, t); });
+                        [this, addr](Tick t) {
+                            if (preTranslationFetch)
+                                preTranslationFetch(addr, t);
+                        });
         });
     }
 
@@ -141,10 +133,10 @@ Ait::read(Addr addr, DoneCallback done)
         // records live there): one extra on-DIMM DRAM access unless
         // the translation cache has the page, then the 256B data
         // read.
-        bool tlc = tableCacheHit(page);
-        eventq.schedule(tag_done, [this, addr, page, tlc,
+        bool tlc_hit = tableCacheHit(page);
+        eventq.schedule(tag_done, [this, addr, page, tlc_hit,
                                    done = std::move(done)]() mutable {
-            if (tlc) {
+            if (tlc_hit) {
                 dram.access(bufferSlotAddr(addr), false,
                             cfg.rmwLineBytes, std::move(done));
                 return;
@@ -162,72 +154,81 @@ Ait::read(Addr addr, DoneCallback done)
     }
 
     statGroup.scalar("buf_misses").inc();
+    Tick t0 = eventq.curTick();
+    eventq.schedule(tag_done, [this, addr, page, t0,
+                               done = std::move(done)]() mutable {
+        startMissFetch(addr, page, t0, std::move(done));
+    });
+}
+
+void
+Ait::startMissFetch(Addr addr, Addr page, Tick t0, DoneCallback done)
+{
     // Miss: translation lookup (DRAM read), then fetch the critical
     // chunk from media; the rest of the 4KB line fills in the
     // background while the requester proceeds. New misses throttle
     // when the fill engine backs up -- the media must actually
     // absorb 4KB per miss (this is the AIT read amplification).
-    Tick t0 = eventq.curTick();
-    auto start = std::make_shared<std::function<void()>>();
-    *start = [this, addr, page, t0, start,
-              done = std::move(done)]() mutable {
-        if (media.fillBacklog() > 24) {
-            statGroup.scalar("fill_throttle").inc();
-            eventq.scheduleAfter(nsToTicks(cfg.mediaReadNs), *start);
-            return;
-        }
-        dram.access(
-            tableEntryAddr(page), false, cacheLineSize,
+    if (media.fillBacklog() > 24) {
+        statGroup.scalar("fill_throttle").inc();
+        eventq.scheduleAfter(
+            nsToTicks(cfg.mediaReadNs),
             [this, addr, page, t0,
-             done = std::move(done)](Tick t1) mutable {
-                statGroup.average("miss_table_ns")
-                    .sample(ticksToNs(t1 - t0));
-                tableCacheInsert(page);
-                Addr crit = alignDown(mediaAddrOf(addr),
-                                      cfg.mediaChunkBytes);
-                media.readChunk(
-                    crit, [this, addr, page, t1,
-                           done = std::move(done)](Tick t) mutable {
-                        statGroup.average("miss_crit_ns")
-                            .sample(ticksToNs(t - t1));
-                        installPage(page);
-                        statGroup.scalar("media_fills").inc();
-                        if (done)
-                            done(t);
-                        // Background fill of the remaining chunks,
-                        // mirrored into the buffer slot with one
-                        // row-friendly 4KB DRAM write once the last
-                        // chunk lands. Demand reads outrank these
-                        // writes at both the media and the DRAM
-                        // controller, so the latency plateaus are
-                        // unaffected while the fill bandwidth cost
-                        // is real.
-                        unsigned chunks = cfg.aitLineBytes /
-                                          cfg.mediaChunkBytes;
-                        Addr base = pageOf(mediaAddrOf(addr));
-                        Addr crit_c = alignDown(mediaAddrOf(addr),
-                                                cfg.mediaChunkBytes);
-                        auto left = std::make_shared<unsigned>(
-                            chunks - 1);
-                        for (unsigned i = 0; i < chunks; ++i) {
-                            Addr c = base + static_cast<Addr>(i) *
-                                                cfg.mediaChunkBytes;
-                            if (c == crit_c)
-                                continue;
-                            media.readChunkBackground(
-                                c, [this, page, left](Tick) {
-                                    if (--*left == 0) {
-                                        dram.access(
-                                            bufferSlotAddr(page),
-                                            true, cfg.aitLineBytes,
-                                            nullptr);
-                                    }
-                                });
-                        }
-                    });
+             done = std::move(done)]() mutable {
+                startMissFetch(addr, page, t0, std::move(done));
             });
-    };
-    eventq.schedule(tag_done, *start);
+        return;
+    }
+    dram.access(
+        tableEntryAddr(page), false, cacheLineSize,
+        [this, addr, page, t0,
+         done = std::move(done)](Tick t1) mutable {
+            statGroup.average("miss_table_ns")
+                .sample(ticksToNs(t1 - t0));
+            tableCacheInsert(page);
+            Addr crit = alignDown(mediaAddrOf(addr),
+                                  cfg.mediaChunkBytes);
+            media.readChunk(
+                crit, [this, addr, page, t1,
+                       done = std::move(done)](Tick t) mutable {
+                    statGroup.average("miss_crit_ns")
+                        .sample(ticksToNs(t - t1));
+                    installPage(page);
+                    statGroup.scalar("media_fills").inc();
+                    if (done)
+                        done(t);
+                    // Background fill of the remaining chunks,
+                    // mirrored into the buffer slot with one
+                    // row-friendly 4KB DRAM write once the last
+                    // chunk lands. Demand reads outrank these
+                    // writes at both the media and the DRAM
+                    // controller, so the latency plateaus are
+                    // unaffected while the fill bandwidth cost
+                    // is real.
+                    unsigned chunks = cfg.aitLineBytes /
+                                      cfg.mediaChunkBytes;
+                    Addr base = pageOf(mediaAddrOf(addr));
+                    Addr crit_c = alignDown(mediaAddrOf(addr),
+                                            cfg.mediaChunkBytes);
+                    auto left = std::make_shared<unsigned>(
+                        chunks - 1);
+                    for (unsigned i = 0; i < chunks; ++i) {
+                        Addr c = base + static_cast<Addr>(i) *
+                                            cfg.mediaChunkBytes;
+                        if (c == crit_c)
+                            continue;
+                        media.readChunkBackground(
+                            c, [this, page, left](Tick) {
+                                if (--*left == 0) {
+                                    dram.access(
+                                        bufferSlotAddr(page),
+                                        true, cfg.aitLineBytes,
+                                        nullptr);
+                                }
+                            });
+                    }
+                });
+        });
 }
 
 void
@@ -239,10 +240,10 @@ Ait::readForFill(Addr addr, DoneCallback done)
 
     if (bufferHit(page)) {
         statGroup.scalar("buf_hits").inc();
-        bool tlc = tableCacheHit(page);
-        eventq.schedule(tag_done, [this, addr, page, tlc,
+        bool tlc_hit = tableCacheHit(page);
+        eventq.schedule(tag_done, [this, addr, page, tlc_hit,
                                    done = std::move(done)]() mutable {
-            if (tlc) {
+            if (tlc_hit) {
                 dram.access(bufferSlotAddr(addr), false,
                             cfg.rmwLineBytes, std::move(done));
                 return;
@@ -276,7 +277,24 @@ Ait::readForFill(Addr addr, DoneCallback done)
 bool
 Ait::canAcceptWrite() const
 {
-    return writeIntake.size() < writeIntakeDepth;
+    return intakeCount < writeIntakeDepth;
+}
+
+void
+Ait::intakePush(PendingWrite w)
+{
+    intakeRing[(intakeHead + intakeCount) % writeIntakeDepth] =
+        std::move(w);
+    ++intakeCount;
+}
+
+Ait::PendingWrite
+Ait::intakePop()
+{
+    PendingWrite w = std::move(intakeRing[intakeHead]);
+    intakeHead = (intakeHead + 1) % writeIntakeDepth;
+    --intakeCount;
+    return w;
 }
 
 void
@@ -287,9 +305,8 @@ Ait::acceptWrite(Addr addr, DoneCallback done)
     // stalls instead of unbounded buffering.
     VANS_REQUIRE("ait", eventq.curTick(), canAcceptWrite(),
                  "write intake overflow (%zu queued, bound %zu)",
-                 writeIntake.size(), writeIntakeDepth);
-    writeIntake.push_back(
-        PendingWrite{addr, std::move(done), eventq.curTick()});
+                 intakeCount, writeIntakeDepth);
+    intakePush(PendingWrite{addr, std::move(done), eventq.curTick()});
     statGroup.scalar("writes").inc();
     if (!drainBusy)
         drainWrites();
@@ -298,25 +315,25 @@ Ait::acceptWrite(Addr addr, DoneCallback done)
 void
 Ait::drainWrites()
 {
-    if (writeIntake.empty()) {
+    if (intakeCount == 0) {
         drainBusy = false;
         return;
     }
     drainBusy = true;
-    PendingWrite &head = writeIntake.front();
+    PendingWrite &head = intakeFront();
     Tick now = eventq.curTick();
 
     // Lazy cache (paper section V-C): absorbed writes skip both the
     // media write and the wear accounting.
     if (writeAbsorber && writeAbsorber(head.addr)) {
-        PendingWrite w = std::move(writeIntake.front());
-        writeIntake.pop_front();
+        PendingWrite w = intakePop();
         statGroup.scalar("lazy_absorbed").inc();
         Tick at = now + nsToTicks(lazyAbsorbNs);
         if (w.done) {
-            eventq.schedule(at, [done = std::move(w.done), at] {
-                done(at);
-            });
+            eventq.schedule(at,
+                            [done = std::move(w.done), at]() mutable {
+                                done(at);
+                            });
         }
         if (onWriteSpaceFreed)
             onWriteSpaceFreed();
@@ -344,14 +361,13 @@ Ait::drainWrites()
         return;
     }
 
-    PendingWrite w = std::move(writeIntake.front());
-    writeIntake.pop_front();
+    PendingWrite w = intakePop();
 
     // Write-through: media write plus a buffer-slot update when the
     // page is resident (mirrored so later reads hit in the buffer).
     wear.onMediaWrite(w.addr);
     media.writeChunk(media_addr, nullptr);
-    if (bufferMap.count(pageOf(w.addr))) {
+    if (bufLru.contains(pageOf(w.addr))) {
         dram.access(bufferSlotAddr(w.addr), true, cfg.rmwLineBytes,
                     nullptr);
     }
@@ -366,6 +382,50 @@ Ait::drainWrites()
     // chunk per partition-turn; the canAccept() check above supplies
     // the real backpressure.
     eventq.scheduleAfter(nsToTicks(2), [this] { drainWrites(); });
+}
+
+void
+Ait::snapshotTo(snapshot::StateSink &sink) const
+{
+    VANS_REQUIRE("ait", eventq.curTick(), writeQuiescent(),
+                 "snapshot with %zu queued writes (drain %d)",
+                 intakeCount, static_cast<int>(drainBusy));
+    sink.tag("ait");
+    sink.u64(bufLru.size());
+    bufLru.forEachMruToLru([&sink](Addr page) { sink.u64(page); });
+    sink.u64(tlc.size());
+    tlc.forEachMruToLru([&sink](Addr page) { sink.u64(page); });
+    statGroup.snapshotTo(sink);
+    media.snapshotTo(sink);
+    wear.snapshotTo(sink);
+    dram.snapshotTo(sink);
+}
+
+void
+Ait::restoreFrom(snapshot::StateSource &src)
+{
+    VANS_REQUIRE("ait", eventq.curTick(),
+                 writeQuiescent() && bufLru.size() == 0 &&
+                     tlc.size() == 0,
+                 "restore into a non-fresh AIT");
+    src.tag("ait");
+    // Keys arrive MRU-first; inserting in reverse (LRU-first)
+    // reproduces the exact recency order.
+    std::vector<Addr> order(src.u64());
+    for (Addr &page : order)
+        page = src.u64();
+    Addr evicted = 0;
+    for (auto it = order.rbegin(); it != order.rend(); ++it)
+        bufLru.insert(*it, evicted);
+    order.resize(src.u64());
+    for (Addr &page : order)
+        page = src.u64();
+    for (auto it = order.rbegin(); it != order.rend(); ++it)
+        tlc.insert(*it, evicted);
+    statGroup.restoreFrom(src);
+    media.restoreFrom(src);
+    wear.restoreFrom(src);
+    dram.restoreFrom(src);
 }
 
 } // namespace vans::nvram

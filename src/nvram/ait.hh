@@ -21,22 +21,24 @@
  *  - Wear-leveling stalls: a write targeting a migrating 64KB block
  *    waits until the migration completes (the Fig 7b tail).
  *
- * Backpressure: writes enter through a small bounded intake queue;
+ * Backpressure: writes enter through a small bounded intake ring;
  * canAcceptWrite()/onWriteSpaceFreed propagate media write pressure
  * back to the RMW buffer and ultimately to the CPU store stream.
+ *
+ * Hot-path containers are allocation-free: both LRUs are flat
+ * array-backed FlatLru sets and the write intake is a fixed ring,
+ * so the steady-state read/write paths allocate nothing.
  */
 
 #ifndef VANS_NVRAM_AIT_HH
 #define VANS_NVRAM_AIT_HH
 
+#include <array>
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <list>
-#include <memory>
-#include <unordered_map>
 
 #include "common/event_queue.hh"
+#include "common/flat_lru.hh"
+#include "common/inplace_function.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "dram/controller.hh"
@@ -51,7 +53,7 @@ namespace vans::nvram
 class Ait
 {
   public:
-    using DoneCallback = std::function<void(Tick)>;
+    using DoneCallback = InplaceFunction<void(Tick)>;
 
     Ait(EventQueue &eq, const NvramConfig &cfg,
         const std::string &name);
@@ -82,11 +84,19 @@ class Ait
     void acceptWrite(Addr addr, DoneCallback done);
 
     /** Registered by the RMW buffer to learn about freed intake. */
-    std::function<void()> onWriteSpaceFreed;
+    InplaceFunction<void()> onWriteSpaceFreed;
 
     /** True when no writes are queued or mid-flight in the AIT. */
-    bool writeQuiescent() const { return writeIntake.empty() &&
+    bool writeQuiescent() const { return intakeCount == 0 &&
                                          !drainBusy; }
+
+    /** Snapshot precondition: write path and submodels all idle. */
+    bool
+    quiescent() const
+    {
+        return writeQuiescent() && media.pendingOps() == 0 &&
+               wear.activeMigrations() == 0 && dram.queueDepth() == 0;
+    }
 
     WearLeveler &wearLeveler() { return wear; }
     XPointMedia &mediaDev() { return media; }
@@ -94,13 +104,10 @@ class Ait
     StatGroup &stats() { return statGroup; }
 
     /** Resident AIT-buffer lines (invariant checker / probers). */
-    std::size_t bufferOccupancy() const { return bufferMap.size(); }
+    std::size_t bufferOccupancy() const { return bufLru.size(); }
 
     /** Writes currently queued in the bounded intake. */
-    std::size_t writeIntakeOccupancy() const
-    {
-        return writeIntake.size();
-    }
+    std::size_t writeIntakeOccupancy() const { return intakeCount; }
 
     /** Configured intake bound. */
     std::size_t writeIntakeCapacity() const
@@ -114,7 +121,7 @@ class Ait
      * Pre-translation entry for this address. The hook receives the
      * address and the tick the entry becomes available.
      */
-    std::function<void(Addr, Tick)> preTranslationFetch;
+    InplaceFunction<void(Addr, Tick)> preTranslationFetch;
 
     /**
      * Lazy-cache support (paper section V-C): consulted before each
@@ -122,25 +129,25 @@ class Ait
      * cache -- no media write, no wear -- and the AIT completes it
      * after @ref lazyAbsorbNs instead.
      */
-    std::function<bool(Addr)> writeAbsorber;
+    InplaceFunction<bool(Addr)> writeAbsorber;
 
     /** Service time of an absorbed (lazy-cached) write, ns. */
     double lazyAbsorbNs = 15;
 
+    /**
+     * Serialize buffer/translation residency (recency order),
+     * stats, and the media/wear/DRAM submodels. Requires
+     * writeQuiescent() and idle submodels.
+     */
+    void snapshotTo(snapshot::StateSink &sink) const;
+    void restoreFrom(snapshot::StateSource &src);
+
   private:
-    struct BufferEntry
-    {
-        Addr page; ///< CPU page address (aligned to aitLineBytes).
-        bool fillComplete = true;
-    };
-
-    using LruList = std::list<BufferEntry>;
-
     struct PendingWrite
     {
-        Addr addr;
+        Addr addr = 0;
         DoneCallback done;
-        Tick enqueueTick;
+        Tick enqueueTick = 0;
     };
 
     Addr pageOf(Addr addr) const { return alignDown(addr,
@@ -161,6 +168,17 @@ class Ait
     /** Install @p page, evicting LRU if needed. */
     void installPage(Addr page);
 
+    bool tableCacheHit(Addr page);
+    void tableCacheInsert(Addr page);
+
+    /**
+     * Miss path: translation lookup, critical-chunk media fetch,
+     * background line fill. Re-schedules itself while the fill
+     * engine is backed up, carrying @p done through by move.
+     */
+    void startMissFetch(Addr addr, Addr page, Tick t0,
+                        DoneCallback done);
+
     void drainWrites();
 
     EventQueue &eventq;
@@ -169,24 +187,27 @@ class Ait
     WearLeveler wear;
     dram::DramController dram;
 
-    LruList lru; ///< Front = most recent.
-    std::unordered_map<Addr, LruList::iterator> bufferMap;
+    /** Resident pages, most recent first. */
+    FlatLru bufLru;
 
     /** Small translation cache in the DIMM controller: pages whose
      *  AIT entry was read recently skip the table DRAM access.
      *  Pointer chases over many pages miss it (the latency curves
      *  keep the table cost); streaming accesses hit it (sustained
      *  bandwidth is data-limited, as measured on the device). */
-    std::list<Addr> tlcLru;
-    std::unordered_map<Addr, std::list<Addr>::iterator> tlcMap;
-    std::size_t tlcCapacity = 128;
+    FlatLru tlc;
+    static constexpr std::size_t tlcCapacity = 128;
 
-    bool tableCacheHit(Addr page);
-    void tableCacheInsert(Addr page);
-
-    std::deque<PendingWrite> writeIntake;
-    std::size_t writeIntakeDepth = 4;
+    /** Bounded write intake as a fixed-capacity ring. */
+    static constexpr std::size_t writeIntakeDepth = 4;
+    std::array<PendingWrite, writeIntakeDepth> intakeRing;
+    std::size_t intakeHead = 0;
+    std::size_t intakeCount = 0;
     bool drainBusy = false;
+
+    PendingWrite &intakeFront() { return intakeRing[intakeHead]; }
+    void intakePush(PendingWrite w);
+    PendingWrite intakePop();
 
     StatGroup statGroup;
 };

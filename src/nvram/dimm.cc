@@ -1,5 +1,8 @@
 #include "nvram/dimm.hh"
 
+#include "common/check.hh"
+#include "common/snapshot.hh"
+
 namespace vans::nvram
 {
 
@@ -20,15 +23,41 @@ NvramDimm::read(Addr addr, DoneCallback done)
                     nsToTicks(cfg.dimmCtrlNs + cfg.lsqProbeNs);
     eventq.schedule(probe_at, [this, addr,
                                done = std::move(done)]() mutable {
-        bool hazard = lsqStage.readProbe(
-            addr, [this, addr, done](Tick) mutable {
-                // The pending write has reached the RMW buffer; the
-                // read now completes from there.
-                rmwStage.read(addr, std::move(done));
-            });
-        if (!hazard)
-            rmwStage.read(addr, std::move(done));
+        // Peek first so the move-only callback goes down exactly one
+        // path; readProbe commits the force-drain.
+        if (lsqStage.pendingLine(addr)) {
+            bool hazard = lsqStage.readProbe(
+                addr, [this, addr,
+                       done = std::move(done)](Tick) mutable {
+                    // The pending write has reached the RMW buffer;
+                    // the read now completes from there.
+                    rmwStage.read(addr, std::move(done));
+                });
+            VANS_INVARIANT("dimm", eventq.curTick(), hazard,
+                           "pendingLine/readProbe disagree at %llx",
+                           static_cast<unsigned long long>(addr));
+            return;
+        }
+        rmwStage.read(addr, std::move(done));
     });
+}
+
+void
+NvramDimm::snapshotTo(snapshot::StateSink &sink) const
+{
+    sink.tag("nvram-dimm");
+    lsqStage.snapshotTo(sink);
+    rmwStage.snapshotTo(sink);
+    aitStage.snapshotTo(sink);
+}
+
+void
+NvramDimm::restoreFrom(snapshot::StateSource &src)
+{
+    src.tag("nvram-dimm");
+    lsqStage.restoreFrom(src);
+    rmwStage.restoreFrom(src);
+    aitStage.restoreFrom(src);
 }
 
 } // namespace vans::nvram

@@ -7,11 +7,11 @@
 #ifndef VANS_NVRAM_DIMM_HH
 #define VANS_NVRAM_DIMM_HH
 
-#include <functional>
 #include <memory>
 #include <string>
 
 #include "common/event_queue.hh"
+#include "common/inplace_function.hh"
 #include "common/types.hh"
 #include "nvram/ait.hh"
 #include "nvram/lsq.hh"
@@ -25,7 +25,7 @@ namespace vans::nvram
 class NvramDimm
 {
   public:
-    using DoneCallback = std::function<void(Tick)>;
+    using DoneCallback = InplaceFunction<void(Tick)>;
 
     NvramDimm(EventQueue &eq, const NvramConfig &cfg,
               const std::string &name);
@@ -58,9 +58,17 @@ class NvramDimm
                aitStage.writeQuiescent();
     }
 
+    /** Snapshot precondition: all three stages fully idle. */
+    bool
+    quiescent() const
+    {
+        return lsqStage.quiescent() && rmwStage.quiescent() &&
+               aitStage.quiescent();
+    }
+
     /** Forwarded to the iMC so WPQ draining can resume. */
     void
-    setWriteSpaceCallback(std::function<void()> cb)
+    setWriteSpaceCallback(InplaceFunction<void()> cb)
     {
         lsqStage.onSpaceFreed = std::move(cb);
     }
@@ -68,6 +76,10 @@ class NvramDimm
     Lsq &lsq() { return lsqStage; }
     RmwBuffer &rmw() { return rmwStage; }
     Ait &ait() { return aitStage; }
+
+    /** Serialize all three stages (each REQUIREs its quiescence). */
+    void snapshotTo(snapshot::StateSink &sink) const;
+    void restoreFrom(snapshot::StateSource &src);
 
   private:
     EventQueue &eventq;

@@ -2,6 +2,7 @@
 
 #include "common/check.hh"
 #include "common/logging.hh"
+#include "common/snapshot.hh"
 
 namespace vans::nvram
 {
@@ -55,7 +56,9 @@ Imc::issueWrite(RequestPtr req)
 {
     statGroup.scalar("writes").inc();
     // Core -> uncore -> iMC pipeline before the WPQ probe.
+    ++pendingArrivals;
     eventq.scheduleAfter(nsToTicks(cfg.coreToImcNs), [this, req] {
+        --pendingArrivals;
         unsigned ci = dimmOf(req->addr);
         Channel &ch = channels[ci];
         Addr line = alignDown(req->addr, cacheLineSize);
@@ -158,7 +161,9 @@ void
 Imc::issueRead(RequestPtr req)
 {
     statGroup.scalar("reads").inc();
+    ++pendingArrivals;
     eventq.scheduleAfter(nsToTicks(cfg.coreToImcNs), [this, req] {
+        --pendingArrivals;
         unsigned ci = dimmOf(req->addr);
         Channel &ch = channels[ci];
         Addr line = alignDown(req->addr, cacheLineSize);
@@ -273,6 +278,60 @@ Imc::checkFences()
             checkFences();
         });
     }
+}
+
+bool
+Imc::quiescent() const
+{
+    if (pendingArrivals != 0 || !pendingFences.empty() ||
+        fencePollScheduled) {
+        return false;
+    }
+    for (const auto &ch : channels) {
+        if (!ch.wpqMap.empty() || !ch.wpqFifo.empty() ||
+            !ch.wpqWaiting.empty() || ch.wpqDrainBusy ||
+            !ch.wpqReadHazards.empty() || ch.rpqInFlight != 0 ||
+            !ch.rpqWaiting.empty() || !ch.dimm->quiescent()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+Imc::snapshotTo(snapshot::StateSink &sink) const
+{
+    VANS_REQUIRE("imc", eventq.curTick(), quiescent(),
+                 "snapshot of a non-quiescent iMC");
+    sink.tag("imc");
+    sink.u64(channels.size());
+    for (const Channel &ch : channels) {
+        sink.u64(ch.bus.freeAt);
+        sink.boolean(ch.bus.lastWasWrite);
+        sink.boolean(ch.bus.used);
+        ch.dimm->snapshotTo(sink);
+    }
+    statGroup.snapshotTo(sink);
+}
+
+void
+Imc::restoreFrom(snapshot::StateSource &src)
+{
+    VANS_REQUIRE("imc", eventq.curTick(), quiescent(),
+                 "restore into a non-quiescent iMC");
+    src.tag("imc");
+    std::uint64_t n = src.u64();
+    VANS_REQUIRE("imc", eventq.curTick(), n == channels.size(),
+                 "channel count mismatch (%llu vs %zu)",
+                 static_cast<unsigned long long>(n),
+                 channels.size());
+    for (Channel &ch : channels) {
+        ch.bus.freeAt = src.u64();
+        ch.bus.lastWasWrite = src.boolean();
+        ch.bus.used = src.boolean();
+        ch.dimm->restoreFrom(src);
+    }
+    statGroup.restoreFrom(src);
 }
 
 } // namespace vans::nvram

@@ -85,6 +85,20 @@ class Imc
      */
     verify::RequestLifecycleChecker *lifecycle = nullptr;
 
+    /**
+     * True when nothing is queued or in flight anywhere on the
+     * NVRAM side: WPQs drained, no RPQ reads, no pending fences,
+     * no scheduled fence poll.
+     */
+    bool quiescent() const;
+
+    /**
+     * Serialize per-channel bus state, stats and every DIMM.
+     * Requires quiescent().
+     */
+    void snapshotTo(snapshot::StateSink &sink) const;
+    void restoreFrom(snapshot::StateSource &src);
+
   private:
     struct DdrtBus
     {
@@ -125,6 +139,15 @@ class Imc
     std::vector<Channel> channels;
     std::vector<RequestPtr> pendingFences;
     bool fencePollScheduled = false;
+
+    /**
+     * Requests issued but not yet past the core-to-iMC hop. For the
+     * first coreToImcNs a request exists solely as a pending event,
+     * invisible to every queue above; without this count quiescent()
+     * would let a snapshot drop it. Necessarily zero at capture, so
+     * never serialized.
+     */
+    unsigned pendingArrivals = 0;
 
     StatGroup statGroup;
 };

@@ -2,6 +2,7 @@
 
 #include "common/check.hh"
 #include "common/logging.hh"
+#include "common/snapshot.hh"
 
 namespace vans::nvram
 {
@@ -99,6 +100,18 @@ Lsq::readProbe(Addr addr, DoneCallback hazard_done)
     g.hazardWaiters.push_back(std::move(hazard_done));
     scheduleDrainCheck(eventq.curTick());
     return true;
+}
+
+bool
+Lsq::pendingLine(Addr addr) const
+{
+    auto it = groups.find(blockOf(addr));
+    if (it == groups.end())
+        return false;
+    unsigned lane = static_cast<unsigned>(
+        (addr / cacheLineSize) % linesPerBlock());
+    const Group &g = it->second;
+    return g.draining || (g.presentMask & (1u << lane)) != 0;
 }
 
 void
@@ -224,6 +237,27 @@ Lsq::startGroupDrain(Group &g)
         });
     if (onSpaceFreed)
         onSpaceFreed();
+}
+
+void
+Lsq::snapshotTo(snapshot::StateSink &sink) const
+{
+    VANS_REQUIRE("lsq", eventq.curTick(),
+                 writeQuiescent() && !drainCheckScheduled &&
+                     numEntries == 0,
+                 "snapshot of a non-quiescent LSQ");
+    sink.tag("lsq");
+    statGroup.snapshotTo(sink);
+}
+
+void
+Lsq::restoreFrom(snapshot::StateSource &src)
+{
+    VANS_REQUIRE("lsq", eventq.curTick(),
+                 writeQuiescent() && !drainCheckScheduled,
+                 "restore into a non-quiescent LSQ");
+    src.tag("lsq");
+    statGroup.restoreFrom(src);
 }
 
 } // namespace vans::nvram

@@ -24,11 +24,11 @@
 #define VANS_NVRAM_LSQ_HH
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <vector>
 
 #include "common/event_queue.hh"
+#include "common/inplace_function.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "nvram/nvram_config.hh"
@@ -41,7 +41,7 @@ namespace vans::nvram
 class Lsq
 {
   public:
-    using DoneCallback = std::function<void(Tick)>;
+    using DoneCallback = InplaceFunction<void(Tick)>;
 
     Lsq(EventQueue &eq, const NvramConfig &cfg, RmwBuffer &rmw,
         const std::string &name);
@@ -60,11 +60,18 @@ class Lsq
      */
     bool readProbe(Addr addr, DoneCallback hazard_done);
 
+    /**
+     * Side-effect-free peek: would a read to @p addr (64B) hit a
+     * pending write here? Lets callers decide which callback to
+     * build before committing to the readProbe force-drain.
+     */
+    bool pendingLine(Addr addr) const;
+
     /** Seal every group (fence semantics: closes combining epochs). */
     void seal();
 
     /** Registered by the iMC to learn about freed entries. */
-    std::function<void()> onSpaceFreed;
+    InplaceFunction<void()> onSpaceFreed;
 
     /** Entries currently held. */
     std::size_t occupancy() const { return numEntries; }
@@ -76,7 +83,23 @@ class Lsq
         return groups.empty() && drainLatch == 0;
     }
 
+    /** Snapshot precondition: empty and no scheduled drain check. */
+    bool
+    quiescent() const
+    {
+        return writeQuiescent() && numEntries == 0 &&
+               !drainCheckScheduled;
+    }
+
     StatGroup &stats() { return statGroup; }
+
+    /**
+     * Serialize stats. Requires full quiescence: no groups, no
+     * drain latch, no scheduled drain check (the queue itself is
+     * empty at quiescence, so stats are the only state).
+     */
+    void snapshotTo(snapshot::StateSink &sink) const;
+    void restoreFrom(snapshot::StateSource &src);
 
   private:
     struct Group

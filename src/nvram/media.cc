@@ -1,6 +1,7 @@
 #include "nvram/media.hh"
 
 #include "common/check.hh"
+#include "common/snapshot.hh"
 
 namespace vans::nvram
 {
@@ -49,7 +50,7 @@ XPointMedia::kick(unsigned pi)
     statGroup.average(op.write ? "write_queue_ns" : "read_queue_ns")
         .sample(ticksToNs(start - eventq.curTick()));
     eventq.schedule(finish, [this, pi, finish,
-                             done = std::move(op.done)] {
+                             done = std::move(op.done)]() mutable {
         partitions[pi].busy = false;
         if (done)
             done(finish);
@@ -134,6 +135,35 @@ XPointMedia::pendingOps() const
              (p.busy ? 1 : 0);
     }
     return n;
+}
+
+void
+XPointMedia::snapshotTo(snapshot::StateSink &sink) const
+{
+    VANS_REQUIRE("media", eventq.curTick(), pendingOps() == 0,
+                 "snapshot with %zu media ops in flight",
+                 pendingOps());
+    sink.tag("media");
+    sink.u64(partitions.size());
+    for (const auto &p : partitions)
+        sink.u64(p.freeAt);
+    statGroup.snapshotTo(sink);
+}
+
+void
+XPointMedia::restoreFrom(snapshot::StateSource &src)
+{
+    VANS_REQUIRE("media", eventq.curTick(), pendingOps() == 0,
+                 "restore into a busy media model");
+    src.tag("media");
+    std::uint64_t n = src.u64();
+    VANS_REQUIRE("media", eventq.curTick(), n == partitions.size(),
+                 "partition count mismatch (%llu vs %zu)",
+                 static_cast<unsigned long long>(n),
+                 partitions.size());
+    for (auto &p : partitions)
+        p.freeAt = src.u64();
+    statGroup.restoreFrom(src);
 }
 
 } // namespace vans::nvram

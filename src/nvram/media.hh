@@ -17,10 +17,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <vector>
 
 #include "common/event_queue.hh"
+#include "common/inplace_function.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "nvram/nvram_config.hh"
@@ -32,7 +32,7 @@ namespace vans::nvram
 class XPointMedia
 {
   public:
-    using DoneCallback = std::function<void(Tick)>;
+    using DoneCallback = InplaceFunction<void(Tick)>;
 
     XPointMedia(EventQueue &eq, const NvramConfig &cfg);
 
@@ -69,6 +69,14 @@ class XPointMedia
     std::size_t fillBacklog() const;
 
     StatGroup &stats() { return statGroup; }
+
+    /**
+     * Serialize warm media state (per-partition busy horizon +
+     * stats). Requires pendingOps() == 0: operation queues and the
+     * completion events that drain them are never serialized.
+     */
+    void snapshotTo(snapshot::StateSink &sink) const;
+    void restoreFrom(snapshot::StateSource &src);
 
   private:
     enum class Priority : std::uint8_t

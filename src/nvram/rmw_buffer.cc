@@ -1,7 +1,10 @@
 #include "nvram/rmw_buffer.hh"
 
+#include <map>
+
 #include "common/check.hh"
 #include "common/logging.hh"
+#include "common/snapshot.hh"
 
 namespace vans::nvram
 {
@@ -72,7 +75,7 @@ RmwBuffer::read(Addr addr, DoneCallback done)
             return;
         }
         eventq.scheduleAfter(access,
-                             [done = std::move(done), this] {
+                             [done = std::move(done), this]() mutable {
                                  if (done)
                                      done(eventq.curTick());
                              });
@@ -306,6 +309,76 @@ RmwBuffer::writeQuiescent() const
         }
     }
     return true;
+}
+
+bool
+RmwBuffer::quiescent() const
+{
+    if (!writeQuiescent() || writeFillsInFlight != 0)
+        return false;
+    for (const auto &kv : entries) {
+        if (kv.second.state != State::Clean)
+            return false;
+    }
+    return true;
+}
+
+void
+RmwBuffer::snapshotTo(snapshot::StateSink &sink) const
+{
+    VANS_REQUIRE("rmw", eventq.curTick(),
+                 writeQuiescent() && writeFillsInFlight == 0,
+                 "snapshot of a non-quiescent RMW buffer");
+    sink.tag("rmw");
+    // Sorted by line so the image is independent of hash order; the
+    // clean-LRU sequence is serialized verbatim (it may hold stale
+    // addrs -- that laziness is model behavior and must survive).
+    std::map<Addr, const Entry *> sorted;
+    for (const auto &kv : entries)
+        sorted[kv.first] = &kv.second;
+    sink.u64(sorted.size());
+    for (const auto &kv : sorted) {
+        const Entry &e = *kv.second;
+        VANS_REQUIRE("rmw", eventq.curTick(),
+                     e.state == State::Clean &&
+                         e.mergeWaiters.empty(),
+                     "non-clean entry %llx at snapshot",
+                     static_cast<unsigned long long>(e.line));
+        sink.u64(e.line);
+        sink.boolean(e.writeStaging);
+        sink.boolean(e.inCleanLru);
+    }
+    sink.u64(cleanLru.size());
+    for (Addr line : cleanLru)
+        sink.u64(line);
+    sink.u64(cleanCount);
+    statGroup.snapshotTo(sink);
+}
+
+void
+RmwBuffer::restoreFrom(snapshot::StateSource &src)
+{
+    VANS_REQUIRE("rmw", eventq.curTick(),
+                 entries.empty() && cleanLru.empty() &&
+                     issueFifo.empty() && !issueBusy &&
+                     writeFillsInFlight == 0,
+                 "restore into a non-fresh RMW buffer");
+    src.tag("rmw");
+    std::uint64_t n = src.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Addr line = src.u64();
+        Entry &e = entries[line];
+        e.line = line;
+        e.state = State::Clean;
+        e.dirtyBytes = 0;
+        e.writeStaging = src.boolean();
+        e.inCleanLru = src.boolean();
+    }
+    std::uint64_t nl = src.u64();
+    for (std::uint64_t i = 0; i < nl; ++i)
+        cleanLru.push_back(src.u64());
+    cleanCount = src.u64();
+    statGroup.restoreFrom(src);
 }
 
 } // namespace vans::nvram

@@ -24,12 +24,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <list>
 #include <unordered_map>
 #include <vector>
 
 #include "common/event_queue.hh"
+#include "common/inplace_function.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "nvram/ait.hh"
@@ -42,7 +42,7 @@ namespace vans::nvram
 class RmwBuffer
 {
   public:
-    using DoneCallback = std::function<void(Tick)>;
+    using DoneCallback = InplaceFunction<void(Tick)>;
 
     RmwBuffer(EventQueue &eq, const NvramConfig &cfg, Ait &ait,
               const std::string &name);
@@ -65,15 +65,26 @@ class RmwBuffer
     void acceptWrite(Addr addr, std::uint32_t bytes, DoneCallback done);
 
     /** Registered by the LSQ to learn about freed space. */
-    std::function<void()> onSpaceFreed;
+    InplaceFunction<void()> onSpaceFreed;
 
     /** True when no dirty data is staged or queued toward the AIT. */
     bool writeQuiescent() const;
+
+    /** Snapshot precondition: every entry Clean, no fills open. */
+    bool quiescent() const;
 
     /** Resident-line count (tests and probers). */
     std::size_t occupancy() const { return entries.size(); }
 
     StatGroup &stats() { return statGroup; }
+
+    /**
+     * Serialize resident entries (sorted by line), the clean-LRU
+     * sequence verbatim, and stats. Requires full quiescence: no
+     * staged writes, no fills in flight, every entry Clean.
+     */
+    void snapshotTo(snapshot::StateSink &sink) const;
+    void restoreFrom(snapshot::StateSource &src);
 
   private:
     enum class State : std::uint8_t

@@ -2,6 +2,7 @@
 
 #include "common/check.hh"
 #include "common/logging.hh"
+#include "common/snapshot.hh"
 #include "nvram/nvm_checker.hh"
 
 namespace vans::nvram
@@ -47,6 +48,28 @@ VansSystem::issue(RequestPtr req)
         imcModel.issueFence(req);
         break;
     }
+}
+
+bool
+VansSystem::quiescent() const
+{
+    return imcModel.quiescent();
+}
+
+void
+VansSystem::snapshotTo(snapshot::StateSink &sink) const
+{
+    sink.tag("vans");
+    sink.u64(lastRequestId());
+    imcModel.snapshotTo(sink);
+}
+
+void
+VansSystem::restoreFrom(snapshot::StateSource &src)
+{
+    src.tag("vans");
+    setLastRequestId(src.u64());
+    imcModel.restoreFrom(src);
 }
 
 std::uint64_t

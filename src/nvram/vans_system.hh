@@ -62,6 +62,12 @@ class VansSystem : public MemorySystem
      */
     Verifier *verifier() { return verif.get(); }
 
+    /** Warm-world fork support (common/snapshot.hh). */
+    bool snapshotSupported() const override { return true; }
+    bool quiescent() const override;
+    void snapshotTo(snapshot::StateSink &sink) const override;
+    void restoreFrom(snapshot::StateSource &src) override;
+
   private:
     NvramConfig cfg;
     std::string sysName;

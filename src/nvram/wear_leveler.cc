@@ -1,8 +1,10 @@
 #include "nvram/wear_leveler.hh"
 
 #include <algorithm>
+#include <map>
 
 #include "common/check.hh"
+#include "common/snapshot.hh"
 
 namespace vans::nvram
 {
@@ -67,6 +69,39 @@ WearLeveler::earliestMigrationEnd() const
     for (const auto &kv : migrating)
         earliest = earliest ? std::min(earliest, kv.second) : kv.second;
     return earliest;
+}
+
+void
+WearLeveler::snapshotTo(snapshot::StateSink &sink) const
+{
+    VANS_REQUIRE("wear", eventq.curTick(), migrating.empty(),
+                 "snapshot with %zu in-flight migrations",
+                 migrating.size());
+    sink.tag("wear");
+    // Sort by block so the image is independent of hash order.
+    std::map<Addr, std::uint64_t> sorted(wearCount.begin(),
+                                         wearCount.end());
+    sink.u64(sorted.size());
+    for (const auto &kv : sorted) {
+        sink.u64(kv.first);
+        sink.u64(kv.second);
+    }
+    statGroup.snapshotTo(sink);
+}
+
+void
+WearLeveler::restoreFrom(snapshot::StateSource &src)
+{
+    VANS_REQUIRE("wear", eventq.curTick(),
+                 migrating.empty() && wearCount.empty(),
+                 "restore into a non-fresh wear leveler");
+    src.tag("wear");
+    std::uint64_t n = src.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Addr block = src.u64();
+        wearCount[block] = src.u64();
+    }
+    statGroup.restoreFrom(src);
 }
 
 } // namespace vans::nvram

@@ -23,10 +23,10 @@
 #define VANS_NVRAM_WEAR_LEVELER_HH
 
 #include <cstdint>
-#include <functional>
 #include <unordered_map>
 
 #include "common/event_queue.hh"
+#include "common/inplace_function.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "nvram/nvram_config.hh"
@@ -77,10 +77,18 @@ class WearLeveler
      * of @p block_addr begins, carrying the wear count that
      * triggered it.
      */
-    std::function<void(Addr block_addr, std::uint64_t wear)>
+    InplaceFunction<void(Addr block_addr, std::uint64_t wear)>
         onMigration;
 
     StatGroup &stats() { return statGroup; }
+
+    /**
+     * Serialize per-block wear counters (sorted by block for a
+     * deterministic image) and stats. Requires no in-flight
+     * migrations -- their completion events cannot be captured.
+     */
+    void snapshotTo(snapshot::StateSink &sink) const;
+    void restoreFrom(snapshot::StateSource &src);
 
   private:
     Addr blockOf(Addr addr) const { return addr / cfg.wearBlockBytes; }

@@ -40,6 +40,14 @@ SOURCE_GLOBS = ("*.cc", "*.hh")
 EVENT_PATH_HEADERS = (
     "src/common/event_queue.hh",
     "src/common/inplace_function.hh",
+    "src/dram/controller.hh",
+    "src/nvram/ait.hh",
+    "src/nvram/dimm.hh",
+    "src/nvram/imc.hh",
+    "src/nvram/lsq.hh",
+    "src/nvram/media.hh",
+    "src/nvram/rmw_buffer.hh",
+    "src/nvram/wear_leveler.hh",
 )
 
 WALLCLOCK_PATTERNS = (
