@@ -118,5 +118,10 @@ main()
           "latency jump is not a TLB artifact",
           tlb_curve.valueAt(16 << 20) >
               0.6 * tlb_curve.valueAt(64 << 20));
+
+    // Under VANS_TRACE=1 this also emits fig05.trace.json /
+    // fig05.metrics.json (no-op and no measurement perturbation
+    // otherwise).
+    writeObservabilityArtifacts("fig05");
     return finish();
 }

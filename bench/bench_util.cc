@@ -3,7 +3,11 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/rng.hh"
+#include "common/trace_event.hh"
 #include "lens/driver.hh"
+#include "nvram/vans_system.hh"
 
 namespace vans::bench
 {
@@ -134,6 +138,55 @@ optaneSpeedupReference(const std::string &w)
     if (w == "sjeng" || w == "deepsjeng")
         return 1.1;
     return 1.2;
+}
+
+void
+writeObservabilityArtifacts(const std::string &prefix)
+{
+    if (!obs::envTraceEnabled())
+        return;
+
+    // A dedicated small world: a low wear threshold so the hammer
+    // phase reliably starts a migration, and a short migration so
+    // the run stays compact.
+    auto cfg = nvram::NvramConfig::optaneDefault();
+    cfg.wearThreshold = 200;
+    cfg.migrationUs = 20;
+    EventQueue eq;
+    nvram::VansSystem sys(eq, cfg);
+    lens::Driver drv(sys);
+
+    // Mixed phase: populate every component track and request lane.
+    Rng rng(3);
+    for (int n = 0; n < 300; ++n) {
+        Addr a = rng.below(4u << 20) & ~static_cast<Addr>(63);
+        if (rng.below(3) == 0)
+            drv.write(a);
+        else
+            drv.read(a);
+    }
+    drv.fence();
+
+    // Hammer phase: cycle distinct lines of one 64KB wear block so
+    // RMW evictions turn into media writes on that block, crossing
+    // the wear threshold; the writes that follow the migration start
+    // stall and show up as flow-connected wear_stall slices.
+    Addr block = 8ull << 20;
+    for (int n = 0; n < 2000; ++n) {
+        Addr a = block + static_cast<Addr>(n % 1024) * 64;
+        drv.write(a);
+    }
+    drv.fence();
+
+    sys.tracer()->writeChromeJson(prefix + ".trace.json");
+    MetricsRegistry reg;
+    sys.metricsInto(reg);
+    reg.writeJson(prefix + ".metrics.json");
+    std::printf("[trace] wrote %s.trace.json and %s.metrics.json "
+                "(%llu migrations)\n",
+                prefix.c_str(), prefix.c_str(),
+                static_cast<unsigned long long>(
+                    sys.totalMigrations()));
 }
 
 } // namespace vans::bench

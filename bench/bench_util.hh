@@ -64,6 +64,16 @@ Curve optaneStoreReference(const std::vector<std::uint64_t> &regions);
  *  (approximate digitization of the bar chart). */
 double optaneSpeedupReference(const std::string &workload);
 
+/**
+ * When VANS_TRACE is set, run a compact traced workload (mixed
+ * reads/writes plus a wear-block hammer that forces a migration and
+ * the write stalls it causes) and write <prefix>.trace.json (Chrome
+ * trace-event / Perfetto format) and <prefix>.metrics.json next to
+ * the bench output. No-op when tracing is disabled, so the bench's
+ * measured numbers are never perturbed.
+ */
+void writeObservabilityArtifacts(const std::string &prefix);
+
 } // namespace vans::bench
 
 #endif // VANS_BENCH_BENCH_UTIL_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -202,9 +203,18 @@ Config::parseSize(const std::string &value)
         fatal("cannot parse empty size value");
     char *end = nullptr;
     double num = std::strtod(v.c_str(), &end);
+    if (end == v.c_str())
+        fatal("size value '%s' has no leading number", v.c_str());
+    // Casting a negative or non-finite double to uint64_t is
+    // undefined behavior; reject instead of silently wrapping.
+    if (!std::isfinite(num) || num < 0)
+        fatal("size value '%s' must be a finite non-negative number",
+              v.c_str());
     std::uint64_t mult = 1;
     std::string suffix = lower(trim(std::string(end)));
-    if (suffix == "k" || suffix == "kb" || suffix == "kib") {
+    if (suffix == "b") {
+        mult = 1;
+    } else if (suffix == "k" || suffix == "kb" || suffix == "kib") {
         mult = 1ull << 10;
     } else if (suffix == "m" || suffix == "mb" || suffix == "mib") {
         mult = 1ull << 20;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace vans
@@ -144,6 +145,11 @@ logSweep(std::uint64_t lo, std::uint64_t hi, unsigned factor)
 {
     if (factor < 2)
         panic("logSweep factor must be >= 2");
+    // lo = 0 would loop forever: 0 * factor stays 0, so the sweep
+    // variable never advances toward hi.
+    VANS_REQUIRE("curve", 0, lo >= 1,
+                 "logSweep lower bound must be >= 1 (got %llu)",
+                 static_cast<unsigned long long>(lo));
     std::vector<std::uint64_t> out;
     for (std::uint64_t v = lo; v <= hi; v *= factor) {
         out.push_back(v);

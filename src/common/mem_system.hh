@@ -27,8 +27,15 @@ class StateSink;
 class StateSource;
 } // namespace vans::snapshot
 
+namespace vans::obs
+{
+class TraceRecorder;
+} // namespace vans::obs
+
 namespace vans
 {
+
+class MetricsRegistry;
 
 /** Abstract timing memory system. */
 class MemorySystem
@@ -58,6 +65,20 @@ class MemorySystem
 
     /** Assign a fresh request id. */
     std::uint64_t nextRequestId() { return ++lastId; }
+
+    /**
+     * The attached trace recorder, or nullptr when this system runs
+     * untraced ([trace] enable and VANS_TRACE both off, or the model
+     * has no instrumentation). Probers and drivers use this to add
+     * their own tracks to the same recording.
+     */
+    virtual obs::TraceRecorder *tracer() { return nullptr; }
+
+    /**
+     * Register every StatGroup of this system with @p reg for
+     * machine-readable export. Default: nothing to report.
+     */
+    virtual void metricsInto(MetricsRegistry &reg) { (void)reg; }
 
     /**
      * Warm-world fork support (common/snapshot.hh). A system that

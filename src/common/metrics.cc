@@ -1,0 +1,132 @@
+#include "common/metrics.hh"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace vans
+{
+
+namespace
+{
+
+/** JSON string escape (stat/group names are plain, but be safe). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+/** JSON has no NaN/Inf literals; clamp to null-safe numbers. */
+void
+appendNumber(std::ostringstream &o, double v)
+{
+    if (!std::isfinite(v)) {
+        o << "0";
+        return;
+    }
+    std::ostringstream tmp;
+    tmp.precision(15);
+    tmp << v;
+    o << tmp.str();
+}
+
+} // namespace
+
+std::string
+MetricsRegistry::toJson() const
+{
+    std::ostringstream o;
+    o << "{\n  \"groups\": [";
+    bool first_group = true;
+    for (const StatGroup *g : groups) {
+        if (!first_group)
+            o << ",";
+        first_group = false;
+        o << "\n    {\n      \"name\": \"" << jsonEscape(g->name())
+          << "\",\n      \"scalars\": {";
+        bool first = true;
+        for (const auto &kv : g->allScalars()) {
+            if (!first)
+                o << ",";
+            first = false;
+            o << "\n        \"" << jsonEscape(kv.first)
+              << "\": " << kv.second.value();
+        }
+        o << (first ? "}" : "\n      }") << ",\n      \"averages\": {";
+        first = true;
+        for (const auto &kv : g->allAverages()) {
+            if (!first)
+                o << ",";
+            first = false;
+            o << "\n        \"" << jsonEscape(kv.first)
+              << "\": {\"mean\": ";
+            appendNumber(o, kv.second.mean());
+            o << ", \"min\": ";
+            appendNumber(o, kv.second.min());
+            o << ", \"max\": ";
+            appendNumber(o, kv.second.max());
+            o << ", \"count\": " << kv.second.count() << "}";
+        }
+        o << (first ? "}" : "\n      }")
+          << ",\n      \"distributions\": {";
+        first = true;
+        for (const auto &kv : g->allDistributions()) {
+            if (!first)
+                o << ",";
+            first = false;
+            o << "\n        \"" << jsonEscape(kv.first)
+              << "\": {\"mean\": ";
+            appendNumber(o, kv.second.mean());
+            o << ", \"min\": ";
+            appendNumber(o, kv.second.min());
+            o << ", \"max\": ";
+            appendNumber(o, kv.second.max());
+            o << ", \"p50\": ";
+            appendNumber(o, kv.second.percentile(0.5));
+            o << ", \"p99\": ";
+            appendNumber(o, kv.second.percentile(0.99));
+            o << ", \"p999\": ";
+            appendNumber(o, kv.second.percentile(0.999));
+            o << ", \"count\": " << kv.second.count() << "}";
+        }
+        o << (first ? "}" : "\n      }") << "\n    }";
+    }
+    o << "\n  ]\n}\n";
+    return o.str();
+}
+
+void
+MetricsRegistry::writeJson(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write metrics file '%s'", path.c_str());
+    out << toJson();
+    if (!out)
+        fatal("short write to metrics file '%s'", path.c_str());
+}
+
+} // namespace vans

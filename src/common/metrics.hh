@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Machine-readable metrics export.
+ *
+ * A MetricsRegistry collects references to the StatGroups of a run
+ * (every component already owns one) and renders everything --
+ * scalars, averages, and StatDistribution percentiles (p50/p99/p999)
+ * -- as one JSON document. This replaces scraping the ad-hoc text of
+ * StatGroup::dump() in bench harnesses and scripts: the JSON carries
+ * exactly the same values (the observability tests assert the
+ * equivalence), plus the distribution tails dump() never had.
+ *
+ * The registry holds raw const pointers and renders lazily: the
+ * referenced groups must outlive it, which is natural because every
+ * group is owned by a component of the system being reported on.
+ */
+
+#ifndef VANS_COMMON_METRICS_HH
+#define VANS_COMMON_METRICS_HH
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace vans
+{
+
+/** Collects StatGroups and emits one JSON metrics document. */
+class MetricsRegistry
+{
+  public:
+    /** Register @p group; it must outlive this registry. */
+    void add(const StatGroup &group) { groups.push_back(&group); }
+
+    std::size_t size() const { return groups.size(); }
+
+    const std::vector<const StatGroup *> &all() const
+    {
+        return groups;
+    }
+
+    /**
+     * Render every registered group as JSON:
+     * {"groups":[{"name":...,"scalars":{...},"averages":{...},
+     *             "distributions":{...}}]}.
+     */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path (fatal on I/O error). */
+    void writeJson(const std::string &path) const;
+
+  private:
+    std::vector<const StatGroup *> groups;
+};
+
+} // namespace vans
+
+#endif // VANS_COMMON_METRICS_HH

@@ -12,6 +12,11 @@
 
 #include "common/types.hh"
 
+namespace vans::obs
+{
+struct ReqTrace;
+} // namespace vans::obs
+
 namespace vans
 {
 
@@ -71,6 +76,14 @@ struct Request
      * for the pointer stored at this address along with the data.
      */
     bool preTranslate = false;
+
+    /**
+     * Lifecycle hop recording (common/trace_event.hh). Null unless
+     * the servicing system runs with tracing enabled; allocated by
+     * TraceRecorder::onIssue, never by the request itself, so the
+     * untraced path stays allocation-free.
+     */
+    std::shared_ptr<obs::ReqTrace> trace;
 
     /** Completion callback; may be empty. */
     std::function<void(Request &)> onComplete;

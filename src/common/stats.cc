@@ -54,6 +54,13 @@ StatGroup::dump() const
             << ", min=" << kv.second.min()
             << ", max=" << kv.second.max() << ")\n";
     }
+    for (const auto &kv : distributions) {
+        out << groupName << '.' << kv.first << " = "
+            << kv.second.mean() << " (n=" << kv.second.count()
+            << ", p50=" << kv.second.percentile(0.5)
+            << ", p99=" << kv.second.percentile(0.99)
+            << ", p999=" << kv.second.percentile(0.999) << ")\n";
+    }
     return out.str();
 }
 
@@ -63,6 +70,8 @@ StatGroup::reset()
     for (auto &kv : scalars)
         kv.second.reset();
     for (auto &kv : averages)
+        kv.second.reset();
+    for (auto &kv : distributions)
         kv.second.reset();
 }
 

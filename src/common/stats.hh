@@ -153,7 +153,33 @@ class StatGroup
         return averages[name];
     }
 
+    /**
+     * Sample distribution (percentile-capable). Distributions are
+     * observability-only: they are not serialized by snapshotTo()
+     * and do not participate in identicalTo(), so adding one never
+     * perturbs the warm-world fork contract.
+     */
+    StatDistribution &distribution(const std::string &name)
+    {
+        return distributions[name];
+    }
+
     const std::string &name() const { return groupName; }
+
+    /** Iteration access for the metrics exporter (sorted by name). */
+    const std::map<std::string, StatScalar> &allScalars() const
+    {
+        return scalars;
+    }
+    const std::map<std::string, StatAverage> &allAverages() const
+    {
+        return averages;
+    }
+    const std::map<std::string, StatDistribution> &
+    allDistributions() const
+    {
+        return distributions;
+    }
 
     /** Value of a scalar, 0 if never touched. */
     std::uint64_t
@@ -181,6 +207,7 @@ class StatGroup
     std::string groupName;
     std::map<std::string, StatScalar> scalars;
     std::map<std::string, StatAverage> averages;
+    std::map<std::string, StatDistribution> distributions;
 };
 
 } // namespace vans

@@ -6,6 +6,7 @@
 #include "common/check.hh"
 #include "common/logging.hh"
 #include "common/snapshot.hh"
+#include "common/trace_event.hh"
 
 namespace vans::dram
 {
@@ -38,6 +39,16 @@ DramController::enableOnlineCheck()
 {
     if (!checker)
         checker = std::make_unique<Ddr4Checker>(spec, map.geometry());
+}
+
+void
+DramController::attachTracer(obs::TraceRecorder &rec,
+                             const std::string &track_name)
+{
+    tracer = &rec;
+    traceTrack = rec.track(track_name);
+    lblRead = rec.label("dram_rd");
+    lblWrite = rec.label("dram_wr");
 }
 
 DramController::~DramController()
@@ -217,6 +228,10 @@ DramController::issueCas(const LineReq &r)
             statGroup
                 .average(write ? "write_latency_ns" : "read_latency_ns")
                 .sample(ticksToNs(data_end - enq));
+            if (tracer) [[unlikely]] {
+                tracer->span(traceTrack, write ? lblWrite : lblRead,
+                             enq, data_end);
+            }
             if (parent->done)
                 parent->done(data_end);
         }

@@ -34,6 +34,11 @@
 #include "dram/command.hh"
 #include "dram/timing.hh"
 
+namespace vans::obs
+{
+class TraceRecorder;
+} // namespace vans::obs
+
 namespace vans::dram
 {
 
@@ -90,6 +95,14 @@ class DramController
 
     /** Online checker (nullptr when verified mode is off). */
     const Ddr4Checker *onlineChecker() const { return checker.get(); }
+
+    /**
+     * Attach tracing: one track for this channel, a span per access
+     * from enqueue to last data beat. Pointer only (tracebyvalue
+     * rule): the recorder lives in the owning memory system.
+     */
+    void attachTracer(obs::TraceRecorder &rec,
+                      const std::string &track_name);
 
     const DramTiming &timing() const { return spec; }
     const DramGeometry &geometry() const { return map.geometry(); }
@@ -192,6 +205,11 @@ class DramController
     CommandTrace cmdTrace;
     /** Online protocol checker; allocated only in verified mode. */
     std::unique_ptr<Ddr4Checker> checker;
+
+    obs::TraceRecorder *tracer = nullptr;
+    std::uint16_t traceTrack = 0;
+    std::uint16_t lblRead = 0;
+    std::uint16_t lblWrite = 0;
 };
 
 } // namespace vans::dram

@@ -2,13 +2,22 @@
 
 #include "common/check.hh"
 #include "common/logging.hh"
+#include "common/trace_event.hh"
 
 namespace vans::lens
 {
 
 Driver::Driver(MemorySystem &memory)
     : mem(memory), eq(memory.eventQueue())
-{}
+{
+    tracer = mem.tracer();
+    if (tracer) [[unlikely]] {
+        traceTrack = tracer->track("lens");
+        lblRead = tracer->label("op_rd");
+        lblWrite = tracer->label("op_wr");
+        lblFence = tracer->label("op_fence");
+    }
+}
 
 void
 Driver::runUntil(const std::function<bool()> &pred)
@@ -38,6 +47,7 @@ Driver::read(Addr addr, std::uint32_t size)
         done = true;
         lat = r.latency();
     };
+    Tick start = eq.curTick();
     mem.issue(req);
     runUntil([&done] { return done; });
     // A zero-latency load would mean the model handed data back in
@@ -45,6 +55,9 @@ Driver::read(Addr addr, std::uint32_t size)
     VANS_INVARIANT("lens.driver", eq.curTick(), lat > 0,
                    "read of %llx measured zero latency",
                    static_cast<unsigned long long>(addr));
+    if (tracer) [[unlikely]]
+        tracer->spanAddr(traceTrack, lblRead, start, start + lat,
+                         addr);
     return lat;
 }
 
@@ -58,8 +71,12 @@ Driver::write(Addr addr, std::uint32_t size)
         done = true;
         lat = r.latency();
     };
+    Tick start = eq.curTick();
     mem.issue(req);
     runUntil([&done] { return done; });
+    if (tracer) [[unlikely]]
+        tracer->spanAddr(traceTrack, lblWrite, start, start + lat,
+                         addr);
     return lat;
 }
 
@@ -73,8 +90,11 @@ Driver::fence()
         done = true;
         lat = r.latency();
     };
+    Tick start = eq.curTick();
     mem.issue(req);
     runUntil([&done] { return done; });
+    if (tracer) [[unlikely]]
+        tracer->span(traceTrack, lblFence, start, start + lat);
     return lat;
 }
 

@@ -84,6 +84,18 @@ class Driver
   private:
     MemorySystem &mem;
     EventQueue &eq;
+
+    /**
+     * Driver-side view of the system's trace recorder (nullptr when
+     * untraced): each synchronous read/write/fence op contributes a
+     * span on the "lens" track so the traced timeline shows what the
+     * simulated software was doing around each component's activity.
+     */
+    obs::TraceRecorder *tracer = nullptr;
+    std::uint16_t traceTrack = 0;
+    std::uint16_t lblRead = 0;
+    std::uint16_t lblWrite = 0;
+    std::uint16_t lblFence = 0;
 };
 
 } // namespace vans::lens

@@ -5,6 +5,7 @@
 #include "common/check.hh"
 #include "common/logging.hh"
 #include "common/snapshot.hh"
+#include "common/trace_event.hh"
 
 namespace vans::nvram
 {
@@ -36,6 +37,19 @@ Ait::Ait(EventQueue &eq, const NvramConfig &config,
       tlc(tlcCapacity),
       statGroup(name)
 {}
+
+void
+Ait::attachTracer(obs::TraceRecorder &rec,
+                  const std::string &track_name)
+{
+    tracer = &rec;
+    traceTrack = rec.track(track_name);
+    lblMiss = rec.label("miss_fetch");
+    lblStall = rec.label("wear_stall");
+    media.attachTracer(rec, track_name + ".media");
+    wear.attachTracer(rec, track_name + ".wear");
+    dram.attachTracer(rec, track_name + ".dram");
+}
 
 Addr
 Ait::bufferSlotAddr(Addr addr) const
@@ -189,10 +203,13 @@ Ait::startMissFetch(Addr addr, Addr page, Tick t0, DoneCallback done)
             Addr crit = alignDown(mediaAddrOf(addr),
                                   cfg.mediaChunkBytes);
             media.readChunk(
-                crit, [this, addr, page, t1,
+                crit, [this, addr, page, t0, t1,
                        done = std::move(done)](Tick t) mutable {
                     statGroup.average("miss_crit_ns")
                         .sample(ticksToNs(t - t1));
+                    if (tracer) [[unlikely]]
+                        tracer->spanAddr(traceTrack, lblMiss, t0, t,
+                                         addr);
                     installPage(page);
                     statGroup.scalar("media_fills").inc();
                     if (done)
@@ -347,6 +364,15 @@ Ait::drainWrites()
     Tick blocked = wear.blockedUntil(head.addr);
     if (blocked > now) {
         statGroup.scalar("migration_stalls").inc();
+        if (tracer) [[unlikely]] {
+            // The stall slice spans the wait; the flow arrow ties it
+            // back to the migration span on the wear track.
+            tracer->spanAddr(traceTrack, lblStall, now, blocked,
+                             head.addr);
+            std::uint64_t flow = wear.migrationFlowId(head.addr);
+            if (flow)
+                tracer->flowEnd(traceTrack, lblStall, now, flow);
+        }
         eventq.schedule(blocked, [this] { drainWrites(); });
         return;
     }

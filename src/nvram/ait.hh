@@ -103,6 +103,16 @@ class Ait
     dram::DramController &dramCtrl() { return dram; }
     StatGroup &stats() { return statGroup; }
 
+    /**
+     * Attach tracing to this AIT and its submodels (media
+     * partitions, wear leveler, on-DIMM DRAM). The AIT track shows
+     * miss fetches and wear-leveling write stalls; a stall slice
+     * carries a flow arrow from the migration that caused it.
+     * Pointer only; the recorder outlives the model tree.
+     */
+    void attachTracer(obs::TraceRecorder &rec,
+                      const std::string &track_name);
+
     /** Resident AIT-buffer lines (invariant checker / probers). */
     std::size_t bufferOccupancy() const { return bufLru.size(); }
 
@@ -210,6 +220,11 @@ class Ait
     PendingWrite intakePop();
 
     StatGroup statGroup;
+
+    obs::TraceRecorder *tracer = nullptr;
+    std::uint16_t traceTrack = 0;
+    std::uint16_t lblMiss = 0;
+    std::uint16_t lblStall = 0;
 };
 
 } // namespace vans::nvram

@@ -77,6 +77,15 @@ class NvramDimm
     RmwBuffer &rmw() { return rmwStage; }
     Ait &ait() { return aitStage; }
 
+    /** Attach tracing to every stage of this DIMM. Pointer only. */
+    void
+    attachTracer(obs::TraceRecorder &rec, const std::string &name)
+    {
+        lsqStage.attachTracer(rec, name + ".lsq");
+        rmwStage.attachTracer(rec, name + ".rmw");
+        aitStage.attachTracer(rec, name + ".ait");
+    }
+
     /** Serialize all three stages (each REQUIREs its quiescence). */
     void snapshotTo(snapshot::StateSink &sink) const;
     void restoreFrom(snapshot::StateSource &src);

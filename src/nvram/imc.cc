@@ -3,6 +3,7 @@
 #include "common/check.hh"
 #include "common/logging.hh"
 #include "common/snapshot.hh"
+#include "common/trace_event.hh"
 
 namespace vans::nvram
 {
@@ -17,6 +18,20 @@ Imc::Imc(EventQueue &eq, const NvramConfig &config,
             eq, cfg, name + ".dimm" + std::to_string(i));
         channels[i].dimm->setWriteSpaceCallback(
             [this, i] { wpqDrain(i); });
+    }
+}
+
+void
+Imc::attachTracer(obs::TraceRecorder &rec, const std::string &name)
+{
+    tracer = &rec;
+    lblBusRead = rec.label("bus_rd");
+    lblBusWrite = rec.label("bus_wr");
+    for (unsigned i = 0; i < channels.size(); ++i) {
+        channels[i].busTrack =
+            rec.track(name + ".ch" + std::to_string(i) + ".bus");
+        channels[i].dimm->attachTracer(
+            rec, name + ".dimm" + std::to_string(i));
     }
 }
 
@@ -48,6 +63,10 @@ Imc::busTransfer(Channel &ch, bool write, std::uint32_t bytes)
     ch.bus.freeAt = start + occupancy;
     ch.bus.lastWasWrite = write;
     ch.bus.used = true;
+    if (tracer) [[unlikely]] {
+        tracer->span(ch.busTrack, write ? lblBusWrite : lblBusRead,
+                     start, start + occupancy);
+    }
     return start + occupancy;
 }
 
@@ -64,12 +83,16 @@ Imc::issueWrite(RequestPtr req)
         Addr line = alignDown(req->addr, cacheLineSize);
         if (lifecycle)
             lifecycle->onQueued(*req);
+        if (tracer) [[unlikely]]
+            tracer->onQueued(*req, eventq.curTick());
 
         if (ch.wpqMap.count(line)) {
             // Merge into the pending entry: already in ADR.
             statGroup.scalar("wpq_merges").inc();
             if (lifecycle)
                 lifecycle->onServiced(*req);
+            if (tracer) [[unlikely]]
+                tracer->onServiced(*req, eventq.curTick());
             req->complete(eventq.curTick());
             return;
         }
@@ -98,6 +121,8 @@ Imc::wpqInsert(Channel &ch, Addr line, RequestPtr req)
     ch.wpqFifo.push_back(line);
     if (lifecycle)
         lifecycle->onServiced(*req);
+    if (tracer) [[unlikely]]
+        tracer->onServiced(*req, eventq.curTick());
     req->complete(eventq.curTick());
 }
 
@@ -143,6 +168,8 @@ Imc::wpqDrain(unsigned ci)
                 statGroup.scalar("wpq_merges").inc();
                 if (lifecycle)
                     lifecycle->onServiced(*w);
+                if (tracer) [[unlikely]]
+                    tracer->onServiced(*w, eventq.curTick());
                 w->complete(eventq.curTick());
             } else {
                 wpqInsert(c, wline, w);
@@ -169,6 +196,8 @@ Imc::issueRead(RequestPtr req)
         Addr line = alignDown(req->addr, cacheLineSize);
         if (lifecycle)
             lifecycle->onQueued(*req);
+        if (tracer) [[unlikely]]
+            tracer->onQueued(*req, eventq.curTick());
 
         // Read-after-write ordering at the iMC: a read that hits a
         // pending WPQ line waits for that line to drain (NT loads do
@@ -205,6 +234,8 @@ Imc::startRead(unsigned ci, RequestPtr req)
             Channel &c2 = channels[ci];
             if (lifecycle)
                 lifecycle->onServiced(*req);
+            if (tracer) [[unlikely]]
+                tracer->onServiced(*req, eventq.curTick());
             Tick data_arrival = busTransfer(c2, false, req->size);
             Tick at_core = data_arrival + nsToTicks(cfg.coreToImcNs);
             eventq.schedule(at_core, [this, ci, req, at_core] {
@@ -227,6 +258,8 @@ Imc::issueFence(RequestPtr req)
     statGroup.scalar("fences").inc();
     if (lifecycle)
         lifecycle->onQueued(*req);
+    if (tracer) [[unlikely]]
+        tracer->onQueued(*req, eventq.curTick());
     pendingFences.push_back(req);
     checkFences();
 }
@@ -266,6 +299,8 @@ Imc::checkFences()
         for (auto &f : pendingFences) {
             if (lifecycle)
                 lifecycle->onServiced(*f);
+            if (tracer) [[unlikely]]
+                tracer->onServiced(*f, now);
             f->complete(now);
         }
         pendingFences.clear();

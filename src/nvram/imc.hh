@@ -86,6 +86,15 @@ class Imc
     verify::RequestLifecycleChecker *lifecycle = nullptr;
 
     /**
+     * Attach tracing: per-channel DDR-T bus tracks (transfer spans
+     * with turnaround gaps visible), request lifecycle hops mirrored
+     * at the same call sites the lifecycle checker observes, and
+     * every DIMM's stage tracks. Pointer only; never owned here.
+     */
+    void attachTracer(obs::TraceRecorder &rec,
+                      const std::string &name);
+
+    /**
      * True when nothing is queued or in flight anywhere on the
      * NVRAM side: WPQs drained, no RPQ reads, no pending fences,
      * no scheduled fence poll.
@@ -121,6 +130,7 @@ class Imc
         unsigned rpqInFlight = 0;
         std::deque<RequestPtr> rpqWaiting;
         DdrtBus bus;
+        std::uint16_t busTrack = 0; ///< Valid while tracer set.
     };
 
     /**
@@ -150,6 +160,10 @@ class Imc
     unsigned pendingArrivals = 0;
 
     StatGroup statGroup;
+
+    obs::TraceRecorder *tracer = nullptr;
+    std::uint16_t lblBusRead = 0;
+    std::uint16_t lblBusWrite = 0;
 };
 
 } // namespace vans::nvram

@@ -3,6 +3,7 @@
 #include "common/check.hh"
 #include "common/logging.hh"
 #include "common/snapshot.hh"
+#include "common/trace_event.hh"
 
 namespace vans::nvram
 {
@@ -12,6 +13,17 @@ Lsq::Lsq(EventQueue &eq, const NvramConfig &config, RmwBuffer &rmw_ref,
     : eventq(eq), cfg(config), rmw(rmw_ref), statGroup(name)
 {
     rmw.onSpaceFreed = [this] { drain(); };
+}
+
+void
+Lsq::attachTracer(obs::TraceRecorder &rec,
+                  const std::string &track_name)
+{
+    tracer = &rec;
+    traceTrack = rec.track(track_name);
+    lblDrain = rec.label("group_drain");
+    lblHazard = rec.label("raw_hazard");
+    lblOccupancy = rec.label("occupancy");
 }
 
 bool
@@ -47,6 +59,9 @@ Lsq::acceptWrite(Addr addr)
             statGroup.scalar("writes").inc();
         }
         g.lastTouch = now;
+        if (tracer) [[unlikely]]
+            tracer->counter(traceTrack, lblOccupancy, now,
+                            static_cast<double>(numEntries));
         if (groupFull(g))
             scheduleDrainCheck(now);
         else
@@ -69,6 +84,9 @@ Lsq::acceptWrite(Addr addr)
     g.lastTouch = now;
     ++numEntries;
     statGroup.scalar("writes").inc();
+    if (tracer) [[unlikely]]
+        tracer->counter(traceTrack, lblOccupancy, now,
+                        static_cast<double>(numEntries));
     if (groupFull(g))
         scheduleDrainCheck(now);
     else
@@ -96,6 +114,9 @@ Lsq::readProbe(Addr addr, DoneCallback hazard_done)
     // Read-after-write hazard: force the group out and hold the
     // read until the data reaches the RMW buffer.
     statGroup.scalar("raw_hazards").inc();
+    if (tracer) [[unlikely]]
+        tracer->instant(traceTrack, lblHazard, eventq.curTick(),
+                        addr);
     g.sealed = true;
     g.hazardWaiters.push_back(std::move(hazard_done));
     scheduleDrainCheck(eventq.curTick());
@@ -224,11 +245,19 @@ Lsq::startGroupDrain(Group &g)
     numEntries -= lines;
     groups.erase(block);
     ++drainLatch;
+    Tick drain_start = eventq.curTick();
+    if (tracer) [[unlikely]]
+        tracer->counter(traceTrack, lblOccupancy, drain_start,
+                        static_cast<double>(numEntries));
 
     rmw.acceptWrite(
         block, bytes,
-        [this, waiters = std::move(waiters)](Tick t) mutable {
+        [this, block, drain_start,
+         waiters = std::move(waiters)](Tick t) mutable {
             --drainLatch;
+            if (tracer) [[unlikely]]
+                tracer->spanAddr(traceTrack, lblDrain, drain_start,
+                                 t, block);
             for (auto &w : waiters) {
                 if (w)
                     w(t);

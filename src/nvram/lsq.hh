@@ -94,6 +94,14 @@ class Lsq
     StatGroup &stats() { return statGroup; }
 
     /**
+     * Attach tracing: one track showing group-drain spans (block
+     * address annotated), read-after-write hazard instants, and an
+     * occupancy counter series. Pointer only.
+     */
+    void attachTracer(obs::TraceRecorder &rec,
+                      const std::string &track_name);
+
+    /**
      * Serialize stats. Requires full quiescence: no groups, no
      * drain latch, no scheduled drain check (the queue itself is
      * empty at quiescence, so stats are the only state).
@@ -148,6 +156,12 @@ class Lsq
     Tick drainCheckAt = 0;
 
     StatGroup statGroup;
+
+    obs::TraceRecorder *tracer = nullptr;
+    std::uint16_t traceTrack = 0;
+    std::uint16_t lblDrain = 0;
+    std::uint16_t lblHazard = 0;
+    std::uint16_t lblOccupancy = 0;
 };
 
 } // namespace vans::nvram

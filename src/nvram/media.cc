@@ -2,6 +2,7 @@
 
 #include "common/check.hh"
 #include "common/snapshot.hh"
+#include "common/trace_event.hh"
 
 namespace vans::nvram
 {
@@ -14,6 +15,20 @@ XPointMedia::XPointMedia(EventQueue &eq, const NvramConfig &config)
       writeTicks(nsToTicks(config.mediaWriteNs)),
       statGroup("media")
 {}
+
+void
+XPointMedia::attachTracer(obs::TraceRecorder &rec,
+                          const std::string &track_prefix)
+{
+    tracer = &rec;
+    lblRead = rec.label("chunk_rd");
+    lblWrite = rec.label("chunk_wr");
+    lblFill = rec.label("chunk_fill");
+    for (std::size_t i = 0; i < partitions.size(); ++i) {
+        partitions[i].traceTrack =
+            rec.track(track_prefix + ".p" + std::to_string(i));
+    }
+}
 
 unsigned
 XPointMedia::partitionOf(Addr media_addr) const
@@ -49,6 +64,12 @@ XPointMedia::kick(unsigned pi)
     p.freeAt = finish;
     statGroup.average(op.write ? "write_queue_ns" : "read_queue_ns")
         .sample(ticksToNs(start - eventq.curTick()));
+    if (tracer) [[unlikely]] {
+        tracer->spanAddr(p.traceTrack,
+                         op.write ? lblWrite
+                                  : (op.fill ? lblFill : lblRead),
+                         start, finish, op.addr);
+    }
     eventq.schedule(finish, [this, pi, finish,
                              done = std::move(op.done)]() mutable {
         partitions[pi].busy = false;
@@ -65,7 +86,8 @@ XPointMedia::enqueue(Addr media_addr, bool write, Priority prio,
     unsigned pi = partitionOf(media_addr);
     Partition &p = partitions[pi];
     statGroup.scalar(write ? "chunk_writes" : "chunk_reads").inc();
-    Op op{write, std::move(done)};
+    Op op{write, std::move(done), media_addr,
+          prio == Priority::Fill};
     switch (prio) {
       case Priority::Demand:
         p.demand.push_back(std::move(op));

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <vector>
 
 #include "common/event_queue.hh"
@@ -24,6 +25,11 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "nvram/nvram_config.hh"
+
+namespace vans::obs
+{
+class TraceRecorder;
+} // namespace vans::obs
 
 namespace vans::nvram
 {
@@ -71,6 +77,13 @@ class XPointMedia
     StatGroup &stats() { return statGroup; }
 
     /**
+     * Attach tracing: one track per partition, a span per chunk
+     * operation covering its device-busy interval. Pointer only.
+     */
+    void attachTracer(obs::TraceRecorder &rec,
+                      const std::string &track_prefix);
+
+    /**
      * Serialize warm media state (per-partition busy horizon +
      * stats). Requires pendingOps() == 0: operation queues and the
      * completion events that drain them are never serialized.
@@ -90,6 +103,8 @@ class XPointMedia
     {
         bool write;
         DoneCallback done;
+        Addr addr = 0;       ///< Chunk address (trace annotation).
+        bool fill = false;   ///< Background fill (trace label).
     };
 
     struct Partition
@@ -99,6 +114,7 @@ class XPointMedia
         std::deque<Op> demand;
         std::deque<Op> writes;
         std::deque<Op> fills;
+        std::uint16_t traceTrack = 0; ///< Valid while tracer set.
     };
 
     unsigned partitionOf(Addr media_addr) const;
@@ -113,6 +129,11 @@ class XPointMedia
     Tick writeTicks;
     std::uint64_t maxQueueDepth = 4;
     StatGroup statGroup;
+
+    obs::TraceRecorder *tracer = nullptr;
+    std::uint16_t lblRead = 0;
+    std::uint16_t lblWrite = 0;
+    std::uint16_t lblFill = 0;
 };
 
 } // namespace vans::nvram

@@ -57,6 +57,7 @@ NvramConfig::fromConfig(const Config &cfg)
     c.migrationUs = cfg.getDouble(s, "migration_us", c.migrationUs);
     c.dimmCtrlNs = cfg.getDouble(s, "dimm_ctrl_ns", c.dimmCtrlNs);
     c.verify = cfg.getBool(s, "verify", c.verify);
+    c.trace = cfg.getBool("trace", "enable", c.trace);
     return c;
 }
 

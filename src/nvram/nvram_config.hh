@@ -86,6 +86,14 @@ struct NvramConfig
      *  perturbs simulated timing. */
     bool verify = false;
 
+    // ---- Observability ---------------------------------------------
+    /** Run with the trace recorder attached (per-request spans +
+     *  per-component tracks, exported as Chrome trace-event JSON).
+     *  The VANS_TRACE environment variable turns this on globally;
+     *  the [trace] enable config key turns it on per system. Tracing
+     *  is passive -- it never perturbs simulated timing. */
+    bool trace = false;
+
     /** Table V defaults (what the validated runs use). */
     static NvramConfig optaneDefault();
 

@@ -5,6 +5,7 @@
 #include "common/check.hh"
 #include "common/logging.hh"
 #include "common/snapshot.hh"
+#include "common/trace_event.hh"
 
 namespace vans::nvram
 {
@@ -14,6 +15,17 @@ RmwBuffer::RmwBuffer(EventQueue &eq, const NvramConfig &config,
     : eventq(eq), cfg(config), ait(ait_ref), statGroup(name)
 {
     ait.onWriteSpaceFreed = [this] { drainIssue(); };
+}
+
+void
+RmwBuffer::attachTracer(obs::TraceRecorder &rec,
+                        const std::string &track_name)
+{
+    tracer = &rec;
+    traceTrack = rec.track(track_name);
+    lblFill = rec.label("rmw_fill");
+    lblReadMiss = rec.label("read_miss");
+    lblOccupancy = rec.label("occupancy");
 }
 
 RmwBuffer::Entry *
@@ -83,6 +95,9 @@ RmwBuffer::read(Addr addr, DoneCallback done)
     }
 
     statGroup.scalar("read_misses").inc();
+    if (tracer) [[unlikely]]
+        tracer->instant(traceTrack, lblReadMiss, eventq.curTick(),
+                        addr);
     if (!makeRoom()) {
         // All entries hold staged writes: serve the read from the
         // AIT without caching rather than stalling it.
@@ -201,6 +216,9 @@ RmwBuffer::acceptWrite(Addr addr, std::uint32_t bytes,
     ne.line = line;
     ne.dirtyBytes = bytes;
     ne.writeStaging = true;
+    if (tracer) [[unlikely]]
+        tracer->counter(traceTrack, lblOccupancy, eventq.curTick(),
+                        static_cast<double>(entries.size()));
     if (bytes >= cfg.rmwLineBytes) {
         // Full-line write: no fill needed (this is what LSQ write
         // combining buys).
@@ -211,9 +229,13 @@ RmwBuffer::acceptWrite(Addr addr, std::uint32_t bytes,
         statGroup.scalar("rmw_fills").inc();
         ne.state = State::Filling;
         ++writeFillsInFlight;
-        eventq.scheduleAfter(access, [this, line] {
-            ait.readForFill(line, [this, line](Tick) {
+        Tick fill_start = eventq.curTick();
+        eventq.scheduleAfter(access, [this, line, fill_start] {
+            ait.readForFill(line, [this, line, fill_start](Tick t) {
                 --writeFillsInFlight;
+                if (tracer) [[unlikely]]
+                    tracer->spanAddr(traceTrack, lblFill, fill_start,
+                                     t, line);
                 Entry *e2 = find(line);
                 if (e2 && e2->state == State::Filling) {
                     auto waiters = std::move(e2->mergeWaiters);
@@ -280,6 +302,10 @@ RmwBuffer::finishWrite(Entry &e, Tick)
         // measured store curve (inflection at the 4KB LSQ, Fig 5a)
         // shows the real device does not do.
         entries.erase(e.line);
+        if (tracer) [[unlikely]]
+            tracer->counter(traceTrack, lblOccupancy,
+                            eventq.curTick(),
+                            static_cast<double>(entries.size()));
         return;
     }
     markClean(e);

@@ -79,6 +79,14 @@ class RmwBuffer
     StatGroup &stats() { return statGroup; }
 
     /**
+     * Attach tracing: one track showing read-modify-write fill
+     * spans, read-miss instants, and an occupancy counter series.
+     * Pointer only; the recorder outlives this model.
+     */
+    void attachTracer(obs::TraceRecorder &rec,
+                      const std::string &track_name);
+
+    /**
      * Serialize resident entries (sorted by line), the clean-LRU
      * sequence verbatim, and stats. Requires full quiescence: no
      * staged writes, no fills in flight, every entry Clean.
@@ -143,6 +151,12 @@ class RmwBuffer
     unsigned writeFillsInFlight = 0;
 
     StatGroup statGroup;
+
+    obs::TraceRecorder *tracer = nullptr;
+    std::uint16_t traceTrack = 0;
+    std::uint16_t lblFill = 0;
+    std::uint16_t lblReadMiss = 0;
+    std::uint16_t lblOccupancy = 0;
 };
 
 } // namespace vans::nvram

@@ -2,7 +2,9 @@
 
 #include "common/check.hh"
 #include "common/logging.hh"
+#include "common/metrics.hh"
 #include "common/snapshot.hh"
+#include "common/trace_event.hh"
 #include "nvram/nvm_checker.hh"
 
 namespace vans::nvram
@@ -13,11 +15,17 @@ VansSystem::VansSystem(EventQueue &eq, const NvramConfig &config,
     : MemorySystem(eq),
       cfg(config),
       sysName(std::move(name)),
-      imcModel(eq, config, sysName + ".imc")
+      imcModel(eq, config, sysName + ".imc"),
+      reqStats(sysName + ".requests"),
+      kernelStats(sysName + ".kernel")
 {
     if (cfg.verify || verify::envEnabled()) {
         verif = std::make_unique<Verifier>(eq, cfg, sysName);
         imcModel.lifecycle = &verif->lifecycle();
+    }
+    if (cfg.trace || obs::envTraceEnabled()) {
+        rec = std::make_unique<obs::TraceRecorder>();
+        imcModel.attachTracer(*rec, sysName + ".imc");
     }
 }
 
@@ -34,6 +42,25 @@ VansSystem::issue(RequestPtr req)
     req->issueTick = eventq.curTick();
     if (verif)
         verif->onIssue(req, *this);
+    if (rec) [[unlikely]] {
+        rec->onIssue(*req, req->issueTick);
+        // Wrap completion to close the hop list and sample the
+        // latency distribution. Allocation here is fine: this path
+        // only runs in traced (observability) runs.
+        auto inner = std::move(req->onComplete);
+        req->onComplete = [this, inner = std::move(inner)](
+                              Request &r) mutable {
+            rec->onRetire(r, r.completeTick);
+            const char *dist = isRead(r.op) ? "read_latency_ns"
+                               : isWrite(r.op)
+                                   ? "write_latency_ns"
+                                   : "fence_latency_ns";
+            reqStats.distribution(dist).sample(
+                ticksToNs(r.latency()));
+            if (inner)
+                inner(r);
+        };
+    }
     switch (req->op) {
       case MemOp::Read:
       case MemOp::ReadNT:
@@ -54,6 +81,26 @@ bool
 VansSystem::quiescent() const
 {
     return imcModel.quiescent();
+}
+
+void
+VansSystem::metricsInto(MetricsRegistry &reg)
+{
+    reg.add(imcModel.stats());
+    for (unsigned i = 0; i < imcModel.numDimms(); ++i) {
+        NvramDimm &d = imcModel.dimm(i);
+        reg.add(d.lsq().stats());
+        reg.add(d.rmw().stats());
+        reg.add(d.ait().stats());
+        reg.add(d.ait().mediaDev().stats());
+        reg.add(d.ait().wearLeveler().stats());
+        reg.add(d.ait().dramCtrl().stats());
+    }
+    reg.add(reqStats);
+    // Event-kernel counters are sampled fresh on each export.
+    kernelStats.reset();
+    eventq.statsInto(kernelStats);
+    reg.add(kernelStats);
 }
 
 void

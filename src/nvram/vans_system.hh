@@ -62,6 +62,23 @@ class VansSystem : public MemorySystem
      */
     Verifier *verifier() { return verif.get(); }
 
+    /**
+     * The owned trace recorder, or nullptr when the system runs
+     * untraced ([trace] enable and VANS_TRACE both off). This is the
+     * single owner the whole component tree points into.
+     */
+    obs::TraceRecorder *tracer() override { return rec.get(); }
+
+    /**
+     * Register every StatGroup in the tree (iMC, per-DIMM stages,
+     * media, wear, on-DIMM DRAM, per-request latency distributions,
+     * event-kernel counters) for machine-readable export.
+     */
+    void metricsInto(MetricsRegistry &reg) override;
+
+    /** Per-request latency distributions (sampled in traced runs). */
+    StatGroup &requestStats() { return reqStats; }
+
     /** Warm-world fork support (common/snapshot.hh). */
     bool snapshotSupported() const override { return true; }
     bool quiescent() const override;
@@ -73,6 +90,16 @@ class VansSystem : public MemorySystem
     std::string sysName;
     Imc imcModel;
     std::unique_ptr<Verifier> verif;
+
+    /**
+     * Trace recorder ownership (unique_ptr is legal here only:
+     * simlint's tracebyvalue rule). Deliberately excluded from
+     * snapshotTo/restoreFrom -- a restored world records a fresh
+     * trace, which the snapshot-identity test relies on.
+     */
+    std::unique_ptr<obs::TraceRecorder> rec;
+    StatGroup reqStats;
+    StatGroup kernelStats;
 };
 
 } // namespace vans::nvram

@@ -5,6 +5,7 @@
 
 #include "common/check.hh"
 #include "common/snapshot.hh"
+#include "common/trace_event.hh"
 
 namespace vans::nvram
 {
@@ -12,6 +13,22 @@ namespace vans::nvram
 WearLeveler::WearLeveler(EventQueue &eq, const NvramConfig &config)
     : eventq(eq), cfg(config), statGroup("wear")
 {}
+
+void
+WearLeveler::attachTracer(obs::TraceRecorder &rec,
+                          const std::string &track_name)
+{
+    tracer = &rec;
+    traceTrack = rec.track(track_name);
+    lblMigration = rec.label("migration");
+}
+
+std::uint64_t
+WearLeveler::migrationFlowId(Addr addr) const
+{
+    auto it = migrationFlows.find(blockOf(addr));
+    return it == migrationFlows.end() ? 0 : it->second;
+}
 
 void
 WearLeveler::onMediaWrite(Addr addr)
@@ -43,7 +60,21 @@ WearLeveler::onMediaWrite(Addr addr)
                nsToTicks(cfg.migrationUs * 1000.0);
     migrating[block] = end;
     statGroup.scalar("migrations").inc();
-    eventq.schedule(end, [this, block] { migrating.erase(block); });
+    if (tracer) [[unlikely]] {
+        // The migration span covers [now, end]; the flow source sits
+        // at its start so downstream stall slices (AIT track) can
+        // draw the causality arrow back to this migration.
+        Tick now = eventq.curTick();
+        tracer->spanAddr(traceTrack, lblMigration, now, end,
+                         block * cfg.wearBlockBytes);
+        migrationFlows[block] =
+            tracer->flowBegin(traceTrack, lblMigration, now);
+    }
+    eventq.schedule(end, [this, block] {
+        migrating.erase(block);
+        if (tracer) [[unlikely]]
+            migrationFlows.erase(block);
+    });
     if (onMigration)
         onMigration(block * cfg.wearBlockBytes, wear);
 }

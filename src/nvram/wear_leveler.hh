@@ -23,6 +23,7 @@
 #define VANS_NVRAM_WEAR_LEVELER_HH
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 
 #include "common/event_queue.hh"
@@ -30,6 +31,11 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "nvram/nvram_config.hh"
+
+namespace vans::obs
+{
+class TraceRecorder;
+} // namespace vans::obs
 
 namespace vans::nvram
 {
@@ -83,6 +89,18 @@ class WearLeveler
     StatGroup &stats() { return statGroup; }
 
     /**
+     * Attach tracing: each migration records a span on the wear
+     * track and opens a flow whose id the AIT uses to connect the
+     * stalls it causes. Held by pointer only (tracebyvalue rule).
+     */
+    void attachTracer(obs::TraceRecorder &rec,
+                      const std::string &track_name);
+
+    /** Flow id of the migration covering @p addr (0 when none or
+     *  when tracing is off). */
+    std::uint64_t migrationFlowId(Addr addr) const;
+
+    /**
      * Serialize per-block wear counters (sorted by block for a
      * deterministic image) and stats. Requires no in-flight
      * migrations -- their completion events cannot be captured.
@@ -98,6 +116,12 @@ class WearLeveler
     std::unordered_map<Addr, std::uint64_t> wearCount;
     std::unordered_map<Addr, Tick> migrating; ///< block -> end tick.
     StatGroup statGroup;
+
+    obs::TraceRecorder *tracer = nullptr;
+    std::uint16_t traceTrack = 0;
+    std::uint16_t lblMigration = 0;
+    /** block -> open migration flow id (traced runs only). */
+    std::unordered_map<Addr, std::uint64_t> migrationFlows;
 };
 
 } // namespace vans::nvram

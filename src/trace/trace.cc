@@ -70,7 +70,10 @@ writeTraceFile(const std::string &path,
         out << instTypeChar(i.type);
         if (i.type == InstType::NonMem) {
             out << ' ' << i.count;
-        } else {
+        } else if (i.type != InstType::Fence) {
+            // Fences carry no address or dependency flag: the reader
+            // never parses them, so emitting them here would be lost
+            // on a round trip (write -> read -> write would differ).
             out << ' ' << std::hex << "0x" << i.addr << std::dec;
             if (i.dependsOnPrev)
                 out << " d";

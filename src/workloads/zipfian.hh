@@ -9,6 +9,7 @@
 #ifndef VANS_WORKLOADS_ZIPFIAN_HH
 #define VANS_WORKLOADS_ZIPFIAN_HH
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 
@@ -32,19 +33,34 @@ class Zipfian
               (1.0 - zeta2 / zetan);
     }
 
-    /** Draw the next rank using @p rng. */
+    /**
+     * Map a uniform draw @p u in [0, 1) to a rank. Deterministic
+     * core of next(), exposed so the u -> 1.0 boundary is directly
+     * testable.
+     */
     std::uint64_t
-    next(Rng &rng)
+    rank(double u) const
     {
-        double u = rng.uniform();
         double uz = u * zetan;
         if (uz < 1.0)
             return 0;
         if (uz < 1.0 + std::pow(0.5, theta))
             return 1;
-        return static_cast<std::uint64_t>(
-            static_cast<double>(items) *
-            std::pow(eta * u - eta + 1.0, alpha));
+        // As u -> 1.0 the bracketed term rounds to 1.0 and the
+        // product reaches exactly `items`, one past the valid rank
+        // range; clamp so every draw stays inside [0, n).
+        return std::min(
+            static_cast<std::uint64_t>(
+                static_cast<double>(items) *
+                std::pow(eta * u - eta + 1.0, alpha)),
+            items - 1);
+    }
+
+    /** Draw the next rank using @p rng. */
+    std::uint64_t
+    next(Rng &rng)
+    {
+        return rank(rng.uniform());
     }
 
   private:

@@ -1,0 +1,409 @@
+/**
+ * @file
+ * Tests for the observability layer (common/trace_event.hh,
+ * common/metrics.hh): request lifecycle hop recording mirrors the
+ * lifecycle checker's stage order, the Chrome trace-event exporter
+ * emits well-formed JSON, the metrics registry reports exactly the
+ * values StatGroup holds, and a world restored from a snapshot
+ * records the same trace as the cold world it forked from.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hh"
+#include "common/rng.hh"
+#include "common/snapshot.hh"
+#include "common/stats.hh"
+#include "common/trace_event.hh"
+#include "lens/driver.hh"
+#include "nvram/vans_system.hh"
+#include "tests/test_util.hh"
+
+using namespace vans;
+
+namespace
+{
+
+/** smallConfig with the trace recorder switched on. */
+nvram::NvramConfig
+tracedConfig()
+{
+    auto cfg = vans::test::smallConfig();
+    cfg.trace = true;
+    return cfg;
+}
+
+/** Issue one op and run the queue until it completes. */
+RequestPtr
+issueAndRun(EventQueue &eq, MemorySystem &sys, Addr addr, MemOp op)
+{
+    auto req = makeRequest(addr, op);
+    bool done = false;
+    req->onComplete = [&done](Request &) { done = true; };
+    sys.issue(req);
+    while (!done) {
+        if (!eq.step()) {
+            ADD_FAILURE() << "queue drained before completion";
+            break;
+        }
+    }
+    return req;
+}
+
+} // namespace
+
+// ---- Disabled path --------------------------------------------------
+
+TEST(Tracing, DisabledByDefault)
+{
+    vans::test::VansFixture f(vans::test::smallConfig());
+    EXPECT_EQ(f.sys.tracer(), nullptr);
+    auto req = issueAndRun(f.eq, f.sys, 0x1000, MemOp::ReadNT);
+    // The untraced path must not allocate hop state on the request.
+    EXPECT_EQ(req->trace, nullptr);
+}
+
+// ---- Lifecycle hops -------------------------------------------------
+
+TEST(Tracing, HopsFollowLifecycleStageOrder)
+{
+    vans::test::VansFixture f(tracedConfig());
+    ASSERT_NE(f.sys.tracer(), nullptr);
+
+    for (MemOp op : {MemOp::ReadNT, MemOp::WriteNT}) {
+        auto req = issueAndRun(f.eq, f.sys, 0x4040, op);
+        ASSERT_NE(req->trace, nullptr) << memOpName(op);
+        const auto &hops = req->trace->hops;
+        // Exactly the checker's stage walk, in its only legal order.
+        ASSERT_EQ(hops.size(), 4u) << memOpName(op);
+        EXPECT_EQ(hops[0].stage, verify::ReqStage::Issued);
+        EXPECT_EQ(hops[1].stage, verify::ReqStage::Queued);
+        EXPECT_EQ(hops[2].stage, verify::ReqStage::Serviced);
+        EXPECT_EQ(hops[3].stage, verify::ReqStage::Retired);
+        for (std::size_t i = 0; i < hops.size(); ++i) {
+            EXPECT_LE(hops[i].enter, hops[i].exit) << memOpName(op);
+            if (i > 0) {
+                EXPECT_EQ(hops[i - 1].exit, hops[i].enter)
+                    << memOpName(op);
+            }
+        }
+        EXPECT_EQ(hops.front().enter, req->issueTick);
+        EXPECT_EQ(hops.back().exit, req->completeTick);
+    }
+}
+
+TEST(Tracing, RetiredRequestsEmitAsyncSlicePairs)
+{
+    vans::test::VansFixture f(tracedConfig());
+    auto *rec = f.sys.tracer();
+    ASSERT_NE(rec, nullptr);
+    rec->clear();
+
+    auto req = issueAndRun(f.eq, f.sys, 0x8080, MemOp::ReadNT);
+
+    std::size_t begins = 0;
+    std::size_t ends = 0;
+    for (const auto &e : rec->events()) {
+        if (e.kind == obs::TraceEvent::Kind::AsyncBegin) {
+            ++begins;
+            EXPECT_EQ(e.id, req->id);
+        }
+        if (e.kind == obs::TraceEvent::Kind::AsyncEnd)
+            ++ends;
+    }
+    // One begin/end pair per hop.
+    EXPECT_EQ(begins, req->trace->hops.size());
+    EXPECT_EQ(ends, begins);
+}
+
+// ---- Exporter JSON --------------------------------------------------
+
+namespace
+{
+
+/**
+ * Minimal JSON well-formedness scan: every brace/bracket balances,
+ * with string literals (and escapes within them) skipped. Not a full
+ * parser, but catches the realistic exporter bugs -- an unclosed
+ * object, a quote broken by an unescaped name.
+ */
+bool
+jsonBalanced(const std::string &s)
+{
+    std::vector<char> stack;
+    bool in_str = false;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        char c = s[i];
+        if (in_str) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                in_str = false;
+            continue;
+        }
+        switch (c) {
+          case '"':
+            in_str = true;
+            break;
+          case '{':
+          case '[':
+            stack.push_back(c);
+            break;
+          case '}':
+            if (stack.empty() || stack.back() != '{')
+                return false;
+            stack.pop_back();
+            break;
+          case ']':
+            if (stack.empty() || stack.back() != '[')
+                return false;
+            stack.pop_back();
+            break;
+          default:
+            break;
+        }
+    }
+    return !in_str && stack.empty();
+}
+
+} // namespace
+
+TEST(Tracing, ExporterEmitsBalancedJsonWithComponentTracks)
+{
+    vans::test::VansFixture f(tracedConfig());
+    auto *rec = f.sys.tracer();
+    ASSERT_NE(rec, nullptr);
+
+    Rng rng(11);
+    for (int n = 0; n < 40; ++n) {
+        Addr a = rng.below(1u << 20) & ~static_cast<Addr>(63);
+        if (rng.below(2))
+            f.drv.write(a);
+        else
+            f.drv.read(a);
+    }
+    f.drv.fence();
+
+    std::string json = rec->toChromeJson();
+    EXPECT_TRUE(jsonBalanced(json)) << json.substr(0, 400);
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+
+    // Every interned component instance shows up as a named track.
+    ASSERT_GT(rec->numTracks(), 0u);
+    bool saw_lsq = false;
+    bool saw_media = false;
+    for (std::size_t t = 0; t < rec->numTracks(); ++t) {
+        const std::string &name = rec->trackName(
+            static_cast<obs::TrackId>(t));
+        EXPECT_NE(json.find("\"name\":\"" + name + "\""),
+                  std::string::npos)
+            << "track " << name << " missing from metadata";
+        if (name.find(".lsq") != std::string::npos)
+            saw_lsq = true;
+        if (name.find(".media") != std::string::npos)
+            saw_media = true;
+    }
+    EXPECT_TRUE(saw_lsq);
+    EXPECT_TRUE(saw_media);
+
+    // The driver's op spans made it out as complete slices.
+    EXPECT_NE(json.find("\"ph\":\"X\",\"name\":\"op_rd\""),
+              std::string::npos);
+}
+
+TEST(Tracing, ExportedTimestampsAreMicrosecondTicks)
+{
+    obs::TraceRecorder rec;
+    auto t = rec.track("unit");
+    auto l = rec.label("one_op");
+    // 1234567 ps = 1.234567 us: the exporter must not round this.
+    rec.span(t, l, 1234567, 2234567);
+    std::string json = rec.toChromeJson();
+    EXPECT_NE(json.find("\"ts\":1.234567"), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"dur\":1.000000"), std::string::npos);
+    EXPECT_TRUE(jsonBalanced(json));
+}
+
+// ---- Metrics registry -----------------------------------------------
+
+TEST(Metrics, JsonCarriesExactStatGroupValues)
+{
+    StatGroup g("unit.group");
+    g.scalar("reads").inc(7);
+    g.scalar("writes").inc(3);
+    g.average("queue_depth").sample(2.0);
+    g.average("queue_depth").sample(4.0);
+    auto &d = g.distribution("lat_ns");
+    for (int i = 1; i <= 100; ++i)
+        d.sample(static_cast<double>(i));
+
+    MetricsRegistry reg;
+    reg.add(g);
+    ASSERT_EQ(reg.size(), 1u);
+    std::string json = reg.toJson();
+    EXPECT_TRUE(jsonBalanced(json)) << json;
+
+    EXPECT_NE(json.find("\"name\": \"unit.group\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"reads\": 7"), std::string::npos);
+    EXPECT_NE(json.find("\"writes\": 3"), std::string::npos);
+    // Average mean of {2, 4} is 3; min/max preserved.
+    EXPECT_NE(json.find("\"queue_depth\": {\"mean\": 3, \"min\": 2, "
+                        "\"max\": 4, \"count\": 2}"),
+              std::string::npos)
+        << json;
+    // Distribution percentiles match StatDistribution's own answers.
+    std::ostringstream want;
+    want << "\"p50\": " << d.percentile(0.5)
+         << ", \"p99\": " << d.percentile(0.99);
+    EXPECT_NE(json.find(want.str()), std::string::npos) << json;
+}
+
+TEST(Metrics, SystemRegistersEveryComponentGroup)
+{
+    vans::test::VansFixture f(tracedConfig());
+    Rng rng(23);
+    for (int n = 0; n < 60; ++n) {
+        Addr a = rng.below(1u << 20) & ~static_cast<Addr>(63);
+        if (rng.below(2))
+            f.drv.write(a);
+        else
+            f.drv.read(a);
+    }
+    f.drv.fence();
+
+    MetricsRegistry reg;
+    f.sys.metricsInto(reg);
+    // imc + per-dimm (lsq, rmw, ait, media, wear, dram) + request
+    // latency distributions + kernel counters.
+    ASSERT_GE(reg.size(), 9u);
+
+    // The registry reports the same object the component owns: a
+    // scalar read through the registry equals the group's own value.
+    for (const StatGroup *g : reg.all()) {
+        for (const auto &kv : g->allScalars())
+            EXPECT_EQ(kv.second.value(),
+                      g->scalarValue(kv.first))
+                << g->name() << "." << kv.first;
+    }
+
+    // The traced run sampled per-op latency distributions.
+    const auto &dists = f.sys.requestStats().allDistributions();
+    ASSERT_TRUE(dists.count("read_latency_ns"));
+    ASSERT_TRUE(dists.count("write_latency_ns"));
+    EXPECT_GT(dists.at("read_latency_ns").count(), 0u);
+    EXPECT_GT(dists.at("read_latency_ns").mean(), 0.0);
+
+    std::string json = reg.toJson();
+    EXPECT_TRUE(jsonBalanced(json));
+    EXPECT_NE(json.find("read_latency_ns"), std::string::npos);
+}
+
+// ---- Snapshot / restore ---------------------------------------------
+
+namespace
+{
+
+void
+tracedWarm(MemorySystem &sys)
+{
+    lens::Driver drv(sys);
+    Rng rng(7);
+    for (int n = 0; n < 150; ++n) {
+        Addr a = rng.below(1u << 20) & ~static_cast<Addr>(63);
+        if (rng.below(3) == 0)
+            drv.write(a);
+        else
+            drv.read(a);
+    }
+    drv.fence();
+}
+
+void
+tracedPoint(MemorySystem &sys)
+{
+    lens::Driver drv(sys);
+    Rng rng(91);
+    for (int n = 0; n < 80; ++n) {
+        Addr a = rng.below(1u << 20) & ~static_cast<Addr>(63);
+        if (rng.below(2))
+            drv.write(a);
+        else
+            drv.read(a);
+    }
+    drv.fence();
+}
+
+} // namespace
+
+namespace
+{
+
+/**
+ * Events of the measured window: spans opened at or after @p t0.
+ * A posted write issued during warm-up may close (and record) its
+ * span just after quiescence; such stragglers begin before t0 and
+ * cannot appear in a forked world, whose recorder starts at t0.
+ */
+std::vector<obs::TraceEvent>
+measuredEvents(const std::vector<obs::TraceEvent> &evs, Tick t0)
+{
+    std::vector<obs::TraceEvent> out;
+    for (const auto &e : evs)
+        if (e.begin >= t0)
+            out.push_back(e);
+    return out;
+}
+
+} // namespace
+
+TEST(Tracing, RestoredWorldRecordsIdenticalTrace)
+{
+    setQuiet(true);
+    auto cfg = tracedConfig();
+
+    // Cold reference: warm, quiesce, drop the warm-up events, then
+    // record the measured workload.
+    EventQueue ref_eq;
+    nvram::VansSystem ref_sys(ref_eq, cfg);
+    tracedWarm(ref_sys);
+    snapshot::awaitQuiescence(ref_eq, ref_sys);
+    Tick t0 = ref_eq.curTick();
+    ASSERT_NE(ref_sys.tracer(), nullptr);
+    ref_sys.tracer()->clear();
+    tracedPoint(ref_sys);
+
+    // Fork: identical warm-up in a prototype world, snapshot it, and
+    // restore into a fresh traced world whose recorder starts empty.
+    EventQueue proto_eq;
+    nvram::VansSystem proto(proto_eq, cfg);
+    tracedWarm(proto);
+    snapshot::awaitQuiescence(proto_eq, proto);
+    auto snap = snapshot::WorldSnapshot::capture(proto_eq, proto);
+
+    EventQueue fork_eq;
+    nvram::VansSystem fork_sys(fork_eq, cfg);
+    snap.restoreInto(fork_eq, fork_sys);
+    ASSERT_NE(fork_sys.tracer(), nullptr);
+    ASSERT_TRUE(fork_sys.tracer()->events().empty());
+    tracedPoint(fork_sys);
+
+    // The recorder is excluded from snapshots on purpose, yet the
+    // restored world's measured trace must be event-for-event the
+    // cold world's: same tracks (attach order is deterministic),
+    // same request ids (lastRequestId is serialized), same ticks
+    // (fork fidelity).
+    auto ref_evs = measuredEvents(ref_sys.tracer()->events(), t0);
+    auto fork_evs = measuredEvents(fork_sys.tracer()->events(), t0);
+    ASSERT_FALSE(ref_evs.empty());
+    ASSERT_EQ(fork_evs.size(), ref_evs.size());
+    for (std::size_t i = 0; i < ref_evs.size(); ++i)
+        ASSERT_TRUE(fork_evs[i] == ref_evs[i]) << "event " << i;
+}

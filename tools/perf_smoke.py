@@ -30,18 +30,31 @@ import sys
 
 
 def load_throughputs(path):
-    """Map benchmark name -> throughput proxy (higher is better)."""
+    """Map benchmark name -> throughput proxy (higher is better).
+
+    Reports produced with --benchmark_repetitions carry aggregate
+    rows; the median aggregate is preferred over individual runs
+    (it is what keeps the gate stable on noisy runners). Reports
+    without repetitions fall back to the single run as before.
+    """
     with open(path) as f:
         report = json.load(f)
     out = {}
+    medians = {}
     for bench in report.get("benchmarks", []):
-        if bench.get("run_type") == "aggregate":
-            continue
         name = bench["name"]
         if "items_per_second" in bench:
-            out[name] = float(bench["items_per_second"])
+            value = float(bench["items_per_second"])
         elif bench.get("real_time"):
-            out[name] = 1.0 / float(bench["real_time"])
+            value = 1.0 / float(bench["real_time"])
+        else:
+            continue
+        if bench.get("run_type") == "aggregate":
+            if name.endswith("_median"):
+                medians[name[:-len("_median")]] = value
+            continue
+        out[name] = value
+    out.update(medians)
     return out
 
 

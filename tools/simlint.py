@@ -24,6 +24,16 @@ does not know about. This one enforces three of them over src/:
               `simlint-allow` comment on or above the declaration
               explaining why it is safe.
 
+  tracebyvalue
+              Components reference the trace recorder only through a
+              raw `TraceRecorder *` (nullptr when tracing is off).
+              A by-value member or a smart-pointer owner anywhere
+              but the recorder's home (common/trace_event.*) and its
+              single owner (nvram/vans_system.*) would either bloat
+              every component with recorder state or create a second
+              ownership root -- both break the near-zero disabled
+              path the observability layer promises.
+
 Findings print as file:line: [rule] message, and the exit status is
 1 when there are any -- suitable both for CI and as a ctest entry.
 """
@@ -62,6 +72,24 @@ WALLCLOCK_PATTERNS = (
 )
 
 ALLOW_RE = re.compile(r"simlint-allow")
+
+# Files allowed to hold TraceRecorder state by value / by ownership:
+# the recorder's own definition and its single owner.
+TRACE_OWNER_FILES = (
+    "src/common/trace_event.hh",
+    "src/common/trace_event.cc",
+    "src/nvram/vans_system.hh",
+    "src/nvram/vans_system.cc",
+)
+# A by-value TraceRecorder member/local: `TraceRecorder name` not
+# followed by `*` or `&` (pointer/reference declarations stay legal
+# everywhere).
+TRACE_BYVALUE_RE = re.compile(
+    r"\bTraceRecorder\s+[A-Za-z_]\w*\s*[;={(]")
+# Smart-pointer ownership of the recorder outside its owner files.
+TRACE_SMARTPTR_RE = re.compile(
+    r"\b(?:std::)?(?:unique_ptr|shared_ptr)\s*<\s*"
+    r"(?:vans::)?(?:obs::)?TraceRecorder\s*>")
 
 STATIC_RE = re.compile(r"^\s*static\s+(?P<rest>.*)$")
 # Qualifiers and types that make a static safe to share.
@@ -111,7 +139,9 @@ def lint_file(path, rel, findings):
     lines = text.splitlines()
     in_block = False
     allow_next = False
-    is_event_header = str(rel).replace("\\", "/") in EVENT_PATH_HEADERS
+    rel_posix = str(rel).replace("\\", "/")
+    is_event_header = rel_posix in EVENT_PATH_HEADERS
+    is_trace_owner = rel_posix in TRACE_OWNER_FILES
 
     for lineno, raw in enumerate(lines, 1):
         allowed = allow_next or ALLOW_RE.search(raw)
@@ -135,6 +165,17 @@ def lint_file(path, rel, findings):
                 (rel, lineno, "stdfunction",
                  "std::function in an event-path header: use "
                  "InplaceCallback to keep scheduling allocation-free"))
+
+        if not is_trace_owner and not allowed:
+            if (TRACE_BYVALUE_RE.search(code)
+                    or TRACE_SMARTPTR_RE.search(code)):
+                findings.append(
+                    (rel, lineno, "tracebyvalue",
+                     "TraceRecorder held by value or by smart "
+                     "pointer outside its owner "
+                     "(nvram/vans_system.*): components must hold "
+                     "only a raw `TraceRecorder *` cached at attach "
+                     "time so the disabled path stays one branch"))
 
         m = STATIC_RE.match(code)
         if m and not allowed:
