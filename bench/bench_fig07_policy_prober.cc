@@ -13,14 +13,45 @@
  *      out).
  */
 
+#include <fstream>
+
 #include "bench/bench_util.hh"
 #include "cache/tlb.hh"
+#include "common/config.hh"
 #include "common/sweep.hh"
 #include "lens/probers.hh"
 #include "nvram/vans_system.hh"
 
 using namespace vans;
 using namespace vans::bench;
+
+namespace
+{
+
+/**
+ * Load the real 6-DIMM interleaved socket description so the
+ * interleave detector runs against the shipped topology file, not a
+ * hand-edited default. Falls back across the usual run directories
+ * (repo root, build/).
+ */
+nvram::NvramConfig
+load6DimmConfig()
+{
+    const char *paths[] = {"configs/optane_6dimm_interleaved.cfg",
+                           "../configs/optane_6dimm_interleaved.cfg"};
+    for (const char *p : paths) {
+        std::ifstream probe(p);
+        if (probe.good())
+            return nvram::NvramConfig::fromConfig(Config::fromFile(p));
+    }
+    // Run from an unexpected cwd: reconstruct the same socket.
+    nvram::NvramConfig inter = nvram::NvramConfig::optaneDefault();
+    inter.numDimms = 6;
+    inter.interleaved = true;
+    return inter;
+}
+
+} // namespace
 
 int
 main()
@@ -30,11 +61,8 @@ main()
     // ---- (a) interleaving ------------------------------------------
     SweepRunner sweep;
     SystemFactory factory_i = [](EventQueue &eq) {
-        nvram::NvramConfig inter = nvram::NvramConfig::optaneDefault();
-        inter.numDimms = 6;
-        inter.interleaved = true;
-        return std::make_unique<nvram::VansSystem>(eq, inter,
-                                                   "vans-6dimm");
+        return std::make_unique<nvram::VansSystem>(
+            eq, load6DimmConfig(), "vans-6dimm");
     };
     SystemFactory factory_s = [](EventQueue &eq) {
         return std::make_unique<nvram::VansSystem>(

@@ -12,6 +12,7 @@
 #include "common/event_queue.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "common/sharded_kernel.hh"
 #include "common/snapshot.hh"
 #include "common/sweep.hh"
 #include "lens/driver.hh"
@@ -88,6 +89,71 @@ BM_DramRandomRead(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_DramRandomRead);
+
+// ---- Sharded kernel: one 6-DIMM world, serial vs parallel ----------
+//
+// The pair below runs the same interleaved-socket burst through the
+// sharded kernel at one thread (the serial reference) and at the
+// host's thread count. Outputs are bit-identical by construction
+// (ShardedDeterminism tests); this measures only the wall-clock
+// effect of running the six channel pipelines concurrently. On a
+// single-CPU host the kernel clamps to one thread, so the two
+// benches coincide up to barrier bookkeeping; the speedup shows on
+// multi-core hosts.
+
+nvram::NvramConfig
+sixDimmConfig()
+{
+    nvram::NvramConfig cfg = nvram::NvramConfig::optaneDefault();
+    cfg.numDimms = 6;
+    cfg.interleaved = true;
+    return cfg;
+}
+
+void
+sixDimmBurst(MemorySystem &sys)
+{
+    lens::Driver drv(sys);
+    // Write bursts spanning all six 4KB interleaves, then strided
+    // reads touching every channel.
+    for (unsigned rep = 0; rep < 3; ++rep)
+        drv.writeBlock(static_cast<Addr>(rep) * 49152, 24576);
+    std::vector<Addr> addrs;
+    for (unsigned i = 0; i < 96; ++i)
+        addrs.push_back(static_cast<Addr>(i) * 4096);
+    drv.streamReads(addrs, 8);
+    drv.fence();
+}
+
+void
+runSixDimm(benchmark::State &state, unsigned threads)
+{
+    setQuiet(true);
+    nvram::NvramConfig cfg = sixDimmConfig();
+    for (auto _ : state) {
+        ShardedKernel kern(cfg.numDimms, nsToTicks(cfg.coreToImcNs),
+                           threads);
+        nvram::VansSystem sys(kern, cfg, "vans6");
+        sixDimmBurst(sys);
+        snapshot::awaitQuiescence(kern.core(), sys);
+        benchmark::DoNotOptimize(kern.curTick());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_Vans6DimmSerial(benchmark::State &state)
+{
+    runSixDimm(state, 1);
+}
+BENCHMARK(BM_Vans6DimmSerial)->Unit(benchmark::kMillisecond);
+
+void
+BM_Vans6DimmSharded(benchmark::State &state)
+{
+    runSixDimm(state, 0); // 0 = one thread per hardware core.
+}
+BENCHMARK(BM_Vans6DimmSharded)->Unit(benchmark::kMillisecond);
 
 // ---- Warm-once/fork-many vs cold-per-point sweeps ------------------
 //

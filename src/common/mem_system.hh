@@ -63,6 +63,15 @@ class MemorySystem
     /** The event queue this system is clocked by. */
     EventQueue &eventQueue() { return eventq; }
 
+    /**
+     * Execute one event of this system's kernel. @return false when
+     * the kernel has fully drained. Drivers and quiescence loops must
+     * step the *system*, not the raw queue: a sharded system advances
+     * its channel shards here, and eventQueue() (the core queue) may
+     * be legitimately empty while shards still hold events.
+     */
+    virtual bool step() { return eventq.step(); }
+
     /** Assign a fresh request id. */
     std::uint64_t nextRequestId() { return ++lastId; }
 

@@ -1,0 +1,240 @@
+#include "common/sharded_kernel.hh"
+
+#include <algorithm>
+
+#include "common/check.hh"
+#include "common/parallel.hh"
+#include "common/stats.hh"
+
+namespace vans
+{
+
+namespace
+{
+
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::this_thread::yield();
+#endif
+}
+
+} // namespace
+
+ShardedKernel::ShardedKernel(unsigned num_channels, Tick window_ticks,
+                             unsigned threads)
+    : windowTicks(window_ticks)
+{
+    VANS_REQUIRE("sharded", 0, num_channels >= 1,
+                 "a sharded kernel needs at least one channel shard");
+    VANS_REQUIRE("sharded", 0, window_ticks > 0,
+                 "window lookahead must be positive");
+    shards.reserve(num_channels);
+    for (unsigned i = 0; i < num_channels; ++i)
+        shards.push_back(std::make_unique<Shard>());
+
+    unsigned t = threads ? threads : hardwareThreads();
+    numThreads = std::max(1u, std::min(t, num_channels));
+    // Spinning only pays when another core can make progress while
+    // we wait; on a single-CPU host go straight to the condition
+    // variable.
+    spinLimit = std::thread::hardware_concurrency() > 1 ? 4000 : 0;
+    for (unsigned w = 1; w < numThreads; ++w)
+        workers.emplace_back([this, w] { workerMain(w); });
+}
+
+ShardedKernel::~ShardedKernel()
+{
+    {
+        std::lock_guard<std::mutex> lk(mx);
+        stopFlag.store(true, std::memory_order_release);
+        epoch.fetch_add(1, std::memory_order_release);
+        cvStart.notify_all();
+    }
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ShardedKernel::toCore(unsigned ci, Tick when, EventQueue::Callback cb)
+{
+    VANS_REQUIRE("sharded", when, ci < shards.size(),
+                 "toCore from unknown shard %u (of %zu)", ci,
+                 shards.size());
+    shards[ci]->outbox.push_back(Shard::Msg{when, std::move(cb)});
+}
+
+void
+ShardedKernel::workerMain(unsigned w)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        for (int i = 0;
+             i < spinLimit &&
+             epoch.load(std::memory_order_acquire) == seen;
+             ++i)
+            cpuRelax();
+        if (epoch.load(std::memory_order_acquire) == seen) {
+            std::unique_lock<std::mutex> lk(mx);
+            cvStart.wait(lk, [&] {
+                return epoch.load(std::memory_order_relaxed) != seen;
+            });
+        }
+        seen = epoch.load(std::memory_order_acquire);
+        if (stopFlag.load(std::memory_order_acquire))
+            return;
+        Tick limit = phaseLimit;
+        for (std::size_t i = w; i < shards.size(); i += numThreads) {
+            if (shards[i]->hasWork)
+                shards[i]->q.runWindow(limit);
+        }
+        if (doneCount.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            std::lock_guard<std::mutex> lk(mx);
+            cvDone.notify_one();
+        }
+    }
+}
+
+void
+ShardedKernel::runChannels(Tick limit)
+{
+    // Freeze the work partition for this window. Results never depend
+    // on it: a shard with no events below the limit only has its
+    // clock advanced, which any thread may do.
+    bool remote_work = false;
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+        Shard &s = *shards[i];
+        s.hasWork = !s.q.empty() && s.q.nextAt() < limit;
+        if (s.hasWork && numThreads > 1 && (i % numThreads) != 0)
+            remote_work = true;
+    }
+
+    if (!remote_work) {
+        // Every active shard belongs to this thread (or there are no
+        // workers): run phase A inline, no barrier traffic. This is
+        // the common case for single-channel worlds.
+        for (auto &sp : shards)
+            sp->q.runWindow(limit);
+        return;
+    }
+
+    ++numDispatches;
+    phaseLimit = limit;
+    doneCount.store(numThreads - 1, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lk(mx);
+        epoch.fetch_add(1, std::memory_order_release);
+        cvStart.notify_all();
+    }
+    // This thread doubles as worker 0. It also advances the clocks of
+    // other workers' idle shards -- disjoint from what those workers
+    // touch (their hasWork shards), so no two threads share a shard.
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+        if ((i % numThreads) == 0 || !shards[i]->hasWork)
+            shards[i]->q.runWindow(limit);
+    }
+    for (int i = 0;
+         i < spinLimit && doneCount.load(std::memory_order_acquire) != 0;
+         ++i)
+        cpuRelax();
+    if (doneCount.load(std::memory_order_acquire) != 0) {
+        std::unique_lock<std::mutex> lk(mx);
+        cvDone.wait(lk, [&] {
+            return doneCount.load(std::memory_order_relaxed) == 0;
+        });
+    }
+}
+
+void
+ShardedKernel::mergeOutboxes()
+{
+    // Shard order then append order; the core heap orders by tick
+    // first, so the effective delivery order is (tick, shard,
+    // append-order) -- fixed for any thread count.
+    for (auto &sp : shards) {
+        for (Shard::Msg &m : sp->outbox) {
+            coreQ.schedule(m.when, std::move(m.cb));
+            ++numCrossSends;
+        }
+        sp->outbox.clear();
+    }
+}
+
+bool
+ShardedKernel::step()
+{
+    if (!coreQ.empty() && coreQ.nextAt() < windowLimit) {
+        coreQ.step();
+        return true;
+    }
+    // Core exhausted inside the current window: find the next
+    // pending tick anywhere and open the window containing it.
+    // Skipping idle simulated time here is what keeps sparse
+    // (think-time) phases from burning windows.
+    bool any = !coreQ.empty();
+    Tick next = any ? coreQ.nextAt() : 0;
+    for (const auto &sp : shards) {
+        if (!sp->q.empty()) {
+            Tick t = sp->q.nextAt();
+            if (!any || t < next) {
+                next = t;
+                any = true;
+            }
+        }
+    }
+    if (!any)
+        return false; // Outboxes are empty between steps.
+    Tick start = std::max(next, windowLimit);
+    // Phase B of the previous window is complete; drag the core
+    // clock up to the new window's start (it has no events before
+    // it). Without this, shard-only churn -- refresh timers during a
+    // quiescence drain -- leaves the core clock behind, and the next
+    // driver-context issue would schedule its channel arrival at
+    // core_now + lookahead, in the shards' logical past.
+    coreQ.runWindow(start);
+    windowLimit = start + windowTicks;
+    ++numWindows;
+    runChannels(windowLimit);
+    mergeOutboxes();
+    // Return after ONE window even when no core event came out of
+    // it: callers poll predicates between steps, and a shard-side
+    // guarded timer (the AIT buffer's DRAM refresh) keeps its queue
+    // populated indefinitely -- looping here until a core event
+    // appeared would never hand control back.
+    return true;
+}
+
+bool
+ShardedKernel::idle() const
+{
+    if (!coreQ.empty())
+        return false;
+    for (const auto &sp : shards) {
+        if (!sp->q.empty() || !sp->outbox.empty())
+            return false;
+    }
+    return true;
+}
+
+void
+ShardedKernel::setWindowLimitTick(Tick t)
+{
+    VANS_REQUIRE("sharded", coreQ.curTick(), windowLimit <= t,
+                 "window limit restored backwards (%llu -> %llu)",
+                 static_cast<unsigned long long>(windowLimit),
+                 static_cast<unsigned long long>(t));
+    windowLimit = t;
+}
+
+void
+ShardedKernel::statsInto(StatGroup &stats) const
+{
+    stats.scalar("windows_run").set(numWindows);
+    stats.scalar("cross_sends").set(numCrossSends);
+    stats.scalar("shard_count").set(shards.size());
+}
+
+} // namespace vans

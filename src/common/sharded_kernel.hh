@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Conservative-window parallel discrete-event kernel.
+ *
+ * One simulated world, many event queues: a *core* queue (the driver,
+ * fences, completions -- everything the "CPU side" of the model does)
+ * plus one *shard* queue per iMC channel. The channel pipelines
+ * (WPQ/RPQ, DDR-T bus, DIMM LSQ/RMW/AIT/media/wear) are already
+ * channel-private, so shards never talk to each other; every
+ * cross-shard edge goes through the core and pays the coreToImcNs
+ * hop. That hop is the *lookahead*: within any window of W =
+ * coreToImcNs, nothing a channel does can affect another channel,
+ * and nothing the core does can reach a channel before the window
+ * ends.
+ *
+ * Each window [T, T+W) runs in two phases:
+ *
+ *  Phase A  all channel shards execute their events with when < T+W,
+ *           in parallel. Channel->core messages (write completions at
+ *           WPQ entry, read data at the core, deferred lifecycle
+ *           observations) are appended to a per-shard outbox, not
+ *           delivered.
+ *  Barrier  outboxes merge into the core queue in (tick, shard,
+ *           append-order) order -- the heap orders by tick first and
+ *           the merge enqueues shard 0's messages before shard 1's,
+ *           so equal-tick messages execute in shard order.
+ *  Phase B  the core shard executes the same window [T, T+W) on the
+ *           calling thread. Core->channel sends (request dispatch
+ *           after dimmOf routing, fence-driven seals) schedule
+ *           directly into the parked channel queues; a core event at
+ *           tick t schedules channel work at t + coreToImcNs >= T+W,
+ *           which is at or after the channel clocks (runWindow leaves
+ *           every shard clock at T+W), so nothing lands in a shard's
+ *           past.
+ *
+ * Phase B resolving *after* phase A is what makes the model's
+ * zero-latency channel->core write completion (ADR: a store completes
+ * the instant it enters the WPQ) legal under conservative windowing:
+ * the completion is produced in phase A at tick t and consumed in
+ * phase B at the same tick t.
+ *
+ * Determinism: window boundaries derive only from queue contents
+ * (next window start = earliest pending tick anywhere, clamped
+ * monotone), shard execution is independent, and the merge order is
+ * fixed. The worker count changes only which host thread runs a
+ * shard, so execution is bit-identical for any VANS_THREADS -- the
+ * same guarantee sweep-level parallelism gives across worlds, here
+ * inside one world.
+ */
+
+#ifndef VANS_COMMON_SHARDED_KERNEL_HH
+#define VANS_COMMON_SHARDED_KERNEL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/types.hh"
+
+namespace vans
+{
+
+class StatGroup;
+
+/** A sharded discrete-event kernel for one multi-channel world. */
+class ShardedKernel
+{
+  public:
+    /**
+     * @param num_channels One shard per iMC channel.
+     * @param window_ticks Lookahead W; must not exceed the minimum
+     *        cross-shard latency (the coreToImcNs hop).
+     * @param threads Host threads for phase A; 0 means
+     *        hardwareThreads() (VANS_THREADS respected). Capped at
+     *        num_channels; thread count never changes results.
+     */
+    ShardedKernel(unsigned num_channels, Tick window_ticks,
+                  unsigned threads = 0);
+    ~ShardedKernel();
+
+    ShardedKernel(const ShardedKernel &) = delete;
+    ShardedKernel &operator=(const ShardedKernel &) = delete;
+
+    /** The core (driver-side) queue. Global time for the world. */
+    EventQueue &core() { return coreQ; }
+
+    /** Channel shard @p ci's private queue. */
+    EventQueue &channelQueue(unsigned ci) { return shards[ci]->q; }
+
+    unsigned numChannels() const
+    {
+        return static_cast<unsigned>(shards.size());
+    }
+
+    Tick window() const { return windowTicks; }
+    unsigned threadCount() const { return numThreads; }
+    Tick curTick() const { return coreQ.curTick(); }
+
+    /**
+     * Send a message from channel shard @p ci to the core: @p cb will
+     * run on the core queue at @p when. Legal only from the sending
+     * shard's executor during phase A (the outbox is single-producer)
+     * or from the main thread between phases. Delivery happens at the
+     * next barrier in deterministic (tick, shard, append-order)
+     * order.
+     */
+    void toCore(unsigned ci, Tick when, EventQueue::Callback cb);
+
+    /**
+     * Execute one core event, advancing windows (phase A + merge) as
+     * needed until the core has one. @return false only when every
+     * queue in the world has drained. The sharded analogue of
+     * EventQueue::step(), with identical driver-visible semantics:
+     * core().curTick() is the tick of the last executed core event.
+     */
+    bool step();
+
+    /** True when every queue (core and shards) has drained. */
+    bool idle() const;
+
+    /** Windows advanced so far (diagnostics). */
+    std::uint64_t windowsRun() const { return numWindows; }
+
+    /** Phase-A dispatches that actually woke worker threads. */
+    std::uint64_t workerDispatches() const { return numDispatches; }
+
+    /** Channel->core messages merged so far. */
+    std::uint64_t crossSends() const { return numCrossSends; }
+
+    /**
+     * End of the current window (exclusive). Serialized by snapshots
+     * so a restored world reproduces the exact window boundaries --
+     * and therefore the exact event schedule -- of a world that
+     * never stopped.
+     */
+    Tick windowLimitTick() const { return windowLimit; }
+    void setWindowLimitTick(Tick t);
+
+    /**
+     * Deterministic kernel counters (windows, cross-shard sends) as
+     * scalars of @p stats. Host-side counters that vary with the
+     * thread count (worker dispatches) are deliberately excluded:
+     * metrics exports must byte-compare across VANS_THREADS.
+     */
+    void statsInto(StatGroup &stats) const;
+
+  private:
+    /** Per-channel shard, padded so hot clocks don't false-share. */
+    struct alignas(64) Shard
+    {
+        EventQueue q;
+        /** Channel->core messages buffered during phase A. */
+        struct Msg
+        {
+            Tick when;
+            EventQueue::Callback cb;
+        };
+        std::vector<Msg> outbox;
+        /** Set by the dispatcher: events pending below the limit. */
+        bool hasWork = false;
+    };
+
+    /** Phase A: run every shard up to @p limit (parallel). */
+    void runChannels(Tick limit);
+
+    /** Barrier: merge all outboxes into the core queue. */
+    void mergeOutboxes();
+
+    void workerMain(unsigned w);
+
+    std::vector<std::unique_ptr<Shard>> shards;
+    EventQueue coreQ;
+    Tick windowTicks;
+    Tick windowLimit = 0;
+    std::uint64_t numWindows = 0;
+    std::uint64_t numDispatches = 0;
+    std::uint64_t numCrossSends = 0;
+
+    // Worker runtime: shard i belongs to worker (i % numThreads);
+    // worker 0 is the calling thread. Workers spin briefly on the
+    // epoch (cheap when windows are back-to-back on a busy multicore
+    // run), then sleep on the condition variable.
+    std::vector<std::thread> workers;
+    unsigned numThreads = 1;
+    int spinLimit = 0;
+    std::mutex mx;
+    std::condition_variable cvStart;
+    std::condition_variable cvDone;
+    std::atomic<std::uint64_t> epoch{0};
+    std::atomic<unsigned> doneCount{0};
+    std::atomic<bool> stopFlag{false};
+    Tick phaseLimit = 0; ///< Published by the epoch release store.
+};
+
+} // namespace vans
+
+#endif // VANS_COMMON_SHARDED_KERNEL_HH

@@ -12,12 +12,43 @@ Imc::Imc(EventQueue &eq, const NvramConfig &config,
          const std::string &name)
     : eventq(eq), cfg(config), statGroup(name)
 {
+    buildChannels(name);
+}
+
+Imc::Imc(ShardedKernel &kernel, const NvramConfig &config,
+         const std::string &name)
+    : eventq(kernel.core()), kern(&kernel), cfg(config),
+      statGroup(name)
+{
+    VANS_REQUIRE("imc", 0, kernel.numChannels() == config.numDimms,
+                 "kernel has %u shards for %u channels",
+                 kernel.numChannels(), config.numDimms);
+    // The window may never exceed the lookahead: a core event at t
+    // schedules channel work at t + coreToImcNs, which must land at
+    // or after the channel clocks (the window end).
+    VANS_REQUIRE("imc", 0,
+                 kernel.window() <= nsToTicks(config.coreToImcNs),
+                 "shard window %llu exceeds the %g ns core-to-iMC "
+                 "lookahead",
+                 static_cast<unsigned long long>(kernel.window()),
+                 config.coreToImcNs);
+    buildChannels(name);
+}
+
+void
+Imc::buildChannels(const std::string &name)
+{
+    cfg.validate();
     channels.resize(cfg.numDimms);
     for (unsigned i = 0; i < cfg.numDimms; ++i) {
-        channels[i].dimm = std::make_unique<NvramDimm>(
-            eq, cfg, name + ".dimm" + std::to_string(i));
-        channels[i].dimm->setWriteSpaceCallback(
-            [this, i] { wpqDrain(i); });
+        Channel &ch = channels[i];
+        ch.idx = i;
+        ch.q = kern ? &kern->channelQueue(i) : &eventq;
+        ch.stats = std::make_unique<StatGroup>(
+            name + ".ch" + std::to_string(i));
+        ch.dimm = std::make_unique<NvramDimm>(
+            *ch.q, cfg, name + ".dimm" + std::to_string(i));
+        ch.dimm->setWriteSpaceCallback([this, i] { wpqDrain(i); });
     }
 }
 
@@ -25,19 +56,47 @@ void
 Imc::attachTracer(obs::TraceRecorder &rec, const std::string &name)
 {
     tracer = &rec;
-    lblBusRead = rec.label("bus_rd");
-    lblBusWrite = rec.label("bus_wr");
     for (unsigned i = 0; i < channels.size(); ++i) {
-        channels[i].busTrack =
+        Channel &ch = channels[i];
+        ch.tracer = &rec;
+        ch.busTrack =
             rec.track(name + ".ch" + std::to_string(i) + ".bus");
-        channels[i].dimm->attachTracer(
-            rec, name + ".dimm" + std::to_string(i));
+        ch.lblBusRead = rec.label("bus_rd");
+        ch.lblBusWrite = rec.label("bus_wr");
+        ch.dimm->attachTracer(rec,
+                              name + ".dimm" + std::to_string(i));
+    }
+}
+
+void
+Imc::attachTracer(obs::TraceRecorder &core_rec,
+                  const std::vector<obs::TraceRecorder *> &chan_recs,
+                  const std::string &name)
+{
+    VANS_REQUIRE("imc", 0, chan_recs.size() == channels.size(),
+                 "%zu channel recorders for %zu channels",
+                 chan_recs.size(), channels.size());
+    tracer = &core_rec;
+    for (unsigned i = 0; i < channels.size(); ++i) {
+        Channel &ch = channels[i];
+        ch.tracer = chan_recs[i];
+        ch.busTrack = ch.tracer->track(name + ".ch" +
+                                       std::to_string(i) + ".bus");
+        ch.lblBusRead = ch.tracer->label("bus_rd");
+        ch.lblBusWrite = ch.tracer->label("bus_wr");
+        ch.dimm->attachTracer(*ch.tracer,
+                              name + ".dimm" + std::to_string(i));
     }
 }
 
 unsigned
 Imc::dimmOf(Addr addr) const
 {
+    VANS_REQUIRE("imc", eventq.curTick(),
+                 addr < static_cast<Addr>(cfg.numDimms) *
+                            cfg.dimmCapacity,
+                 "address %llx beyond the %u-DIMM socket capacity",
+                 static_cast<unsigned long long>(addr), cfg.numDimms);
     if (cfg.numDimms == 1)
         return 0;
     if (cfg.interleaved) {
@@ -51,11 +110,11 @@ Imc::dimmOf(Addr addr) const
 Tick
 Imc::busTransfer(Channel &ch, bool write, std::uint32_t bytes)
 {
-    Tick now = eventq.curTick();
+    Tick now = ch.q->curTick();
     Tick start = std::max(now, ch.bus.freeAt);
     if (ch.bus.used && ch.bus.lastWasWrite != write) {
         start += nsToTicks(cfg.busTurnaroundNs);
-        statGroup.scalar("bus_turnarounds").inc();
+        ch.stats->scalar("bus_turnarounds").inc();
     }
     unsigned beats = (bytes + cacheLineSize - 1) / cacheLineSize;
     Tick occupancy = nsToTicks(cfg.busCmdNs) +
@@ -63,49 +122,96 @@ Imc::busTransfer(Channel &ch, bool write, std::uint32_t bytes)
     ch.bus.freeAt = start + occupancy;
     ch.bus.lastWasWrite = write;
     ch.bus.used = true;
-    if (tracer) [[unlikely]] {
-        tracer->span(ch.busTrack, write ? lblBusWrite : lblBusRead,
-                     start, start + occupancy);
+    if (ch.tracer) [[unlikely]] {
+        ch.tracer->span(ch.busTrack,
+                        write ? ch.lblBusWrite : ch.lblBusRead,
+                        start, start + occupancy);
     }
     return start + occupancy;
+}
+
+void
+Imc::noteQueued(Channel &ch, const RequestPtr &req)
+{
+    // The hop list lives on the request itself; safe from the shard.
+    if (ch.tracer) [[unlikely]]
+        ch.tracer->onQueued(*req, ch.q->curTick());
+    if (!lifecycle)
+        return;
+    if (!kern) {
+        lifecycle->onQueued(*req);
+        return;
+    }
+    // The checker's state is core-side: defer the observation through
+    // the outbox so it applies at the barrier, in (tick, shard,
+    // append-order) order.
+    kern->toCore(ch.idx, ch.q->curTick(),
+                 [lc = lifecycle, req] { lc->onQueued(*req); });
+}
+
+void
+Imc::noteServiced(Channel &ch, const RequestPtr &req)
+{
+    if (ch.tracer) [[unlikely]]
+        ch.tracer->onServiced(*req, ch.q->curTick());
+    if (!lifecycle)
+        return;
+    if (!kern) {
+        lifecycle->onServiced(*req);
+        return;
+    }
+    kern->toCore(ch.idx, ch.q->curTick(),
+                 [lc = lifecycle, req] { lc->onServiced(*req); });
+}
+
+void
+Imc::completeWrite(Channel &ch, const RequestPtr &req)
+{
+    noteServiced(ch, req);
+    Tick when = ch.q->curTick();
+    if (!kern) {
+        req->complete(when);
+        return;
+    }
+    // ADR's zero-latency completion crosses the shard boundary at
+    // the same tick: produced in phase A, delivered in phase B.
+    kern->toCore(ch.idx, when, [req, when] { req->complete(when); });
 }
 
 void
 Imc::issueWrite(RequestPtr req)
 {
     statGroup.scalar("writes").inc();
-    // Core -> uncore -> iMC pipeline before the WPQ probe.
-    ++pendingArrivals;
-    eventq.scheduleAfter(nsToTicks(cfg.coreToImcNs), [this, req] {
-        --pendingArrivals;
-        unsigned ci = dimmOf(req->addr);
-        Channel &ch = channels[ci];
-        Addr line = alignDown(req->addr, cacheLineSize);
-        if (lifecycle)
-            lifecycle->onQueued(*req);
-        if (tracer) [[unlikely]]
-            tracer->onQueued(*req, eventq.curTick());
+    unsigned ci = dimmOf(req->addr);
+    Channel &ch = channels[ci];
+    ++ch.pendingArrivals;
+    // Core -> uncore -> iMC pipeline before the WPQ probe. The hop is
+    // also the shard lookahead: this schedules one full window ahead,
+    // so the target shard is parked (classic mode: same queue).
+    ch.q->schedule(
+        eventq.curTick() + nsToTicks(cfg.coreToImcNs),
+        [this, ci, req] {
+            Channel &c = channels[ci];
+            --c.pendingArrivals;
+            Addr line = alignDown(req->addr, cacheLineSize);
+            noteQueued(c, req);
 
-        if (ch.wpqMap.count(line)) {
-            // Merge into the pending entry: already in ADR.
-            statGroup.scalar("wpq_merges").inc();
-            if (lifecycle)
-                lifecycle->onServiced(*req);
-            if (tracer) [[unlikely]]
-                tracer->onServiced(*req, eventq.curTick());
-            req->complete(eventq.curTick());
-            return;
-        }
-        if (ch.wpqMap.size() < cfg.wpqEntries) {
-            wpqInsert(ch, line, req);
+            if (c.wpqMap.count(line)) {
+                // Merge into the pending entry: already in ADR.
+                c.stats->scalar("wpq_merges").inc();
+                completeWrite(c, req);
+                return;
+            }
+            if (c.wpqMap.size() < cfg.wpqEntries) {
+                wpqInsert(c, line, req);
+                wpqDrain(ci);
+                return;
+            }
+            // WPQ full: the store stalls until a slot frees.
+            c.stats->scalar("wpq_stalls").inc();
+            c.wpqWaiting.push_back(req);
             wpqDrain(ci);
-            return;
-        }
-        // WPQ full: the store stalls until a slot frees.
-        statGroup.scalar("wpq_stalls").inc();
-        ch.wpqWaiting.push_back(req);
-        wpqDrain(ci);
-    });
+        });
 }
 
 void
@@ -113,17 +219,13 @@ Imc::wpqInsert(Channel &ch, Addr line, RequestPtr req)
 {
     // The WPQ is the 512B ADR domain: it must never stretch beyond
     // its configured 8 x 64B slots.
-    VANS_INVARIANT("imc.wpq", eventq.curTick(),
+    VANS_INVARIANT("imc.wpq", ch.q->curTick(),
                    ch.wpqMap.size() < cfg.wpqEntries,
                    "WPQ overflow: %zu lines, capacity %u",
                    ch.wpqMap.size(), cfg.wpqEntries);
     ch.wpqMap[line] = true;
     ch.wpqFifo.push_back(line);
-    if (lifecycle)
-        lifecycle->onServiced(*req);
-    if (tracer) [[unlikely]]
-        tracer->onServiced(*req, eventq.curTick());
-    req->complete(eventq.curTick());
+    completeWrite(ch, req);
 }
 
 void
@@ -139,11 +241,11 @@ Imc::wpqDrain(unsigned ci)
     ch.wpqDrainBusy = true;
     ch.wpqFifo.pop_front();
     Tick arrival = busTransfer(ch, true, cacheLineSize);
-    eventq.schedule(arrival, [this, ci, line] {
+    ch.q->schedule(arrival, [this, ci, line] {
         Channel &c = channels[ci];
         // The drain only started because the DIMM had LSQ room; the
         // slot must still be there when the line arrives.
-        VANS_REQUIRE("imc.wpq", eventq.curTick(),
+        VANS_REQUIRE("imc.wpq", c.q->curTick(),
                      c.dimm->canAcceptWrite(line),
                      "WPQ drained into a full DIMM LSQ (line %llx)",
                      static_cast<unsigned long long>(line));
@@ -165,19 +267,15 @@ Imc::wpqDrain(unsigned ci)
             c.wpqWaiting.pop_front();
             Addr wline = alignDown(w->addr, cacheLineSize);
             if (c.wpqMap.count(wline)) {
-                statGroup.scalar("wpq_merges").inc();
-                if (lifecycle)
-                    lifecycle->onServiced(*w);
-                if (tracer) [[unlikely]]
-                    tracer->onServiced(*w, eventq.curTick());
-                w->complete(eventq.curTick());
+                c.stats->scalar("wpq_merges").inc();
+                completeWrite(c, w);
             } else {
                 wpqInsert(c, wline, w);
             }
         }
 
         // Request/grant handshake paces the next drain.
-        eventq.scheduleAfter(nsToTicks(cfg.wpqGrantNs), [this, ci] {
+        c.q->scheduleAfter(nsToTicks(cfg.wpqGrantNs), [this, ci] {
             channels[ci].wpqDrainBusy = false;
             wpqDrain(ci);
         });
@@ -188,27 +286,28 @@ void
 Imc::issueRead(RequestPtr req)
 {
     statGroup.scalar("reads").inc();
-    ++pendingArrivals;
-    eventq.scheduleAfter(nsToTicks(cfg.coreToImcNs), [this, req] {
-        --pendingArrivals;
-        unsigned ci = dimmOf(req->addr);
-        Channel &ch = channels[ci];
-        Addr line = alignDown(req->addr, cacheLineSize);
-        if (lifecycle)
-            lifecycle->onQueued(*req);
-        if (tracer) [[unlikely]]
-            tracer->onQueued(*req, eventq.curTick());
+    unsigned ci = dimmOf(req->addr);
+    Channel &ch = channels[ci];
+    ++ch.pendingArrivals;
+    ch.q->schedule(
+        eventq.curTick() + nsToTicks(cfg.coreToImcNs),
+        [this, ci, req] {
+            Channel &c = channels[ci];
+            --c.pendingArrivals;
+            Addr line = alignDown(req->addr, cacheLineSize);
+            noteQueued(c, req);
 
-        // Read-after-write ordering at the iMC: a read that hits a
-        // pending WPQ line waits for that line to drain (NT loads do
-        // not forward from the WPQ -- section III-C's RaW behaviour).
-        if (ch.wpqMap.count(line)) {
-            statGroup.scalar("wpq_read_hazards").inc();
-            ch.wpqReadHazards.emplace(line, req);
-            return;
-        }
-        startRead(ci, req);
-    });
+            // Read-after-write ordering at the iMC: a read that hits
+            // a pending WPQ line waits for that line to drain (NT
+            // loads do not forward from the WPQ -- section III-C's
+            // RaW behaviour).
+            if (c.wpqMap.count(line)) {
+                c.stats->scalar("wpq_read_hazards").inc();
+                c.wpqReadHazards.emplace(line, req);
+                return;
+            }
+            startRead(ci, req);
+        });
 }
 
 void
@@ -220,27 +319,41 @@ Imc::startRead(unsigned ci, RequestPtr req)
         return;
     }
     ++ch.rpqInFlight;
-    VANS_INVARIANT("imc.rpq", eventq.curTick(),
+    VANS_INVARIANT("imc.rpq", ch.q->curTick(),
                    ch.rpqInFlight <= cfg.rpqEntries,
                    "RPQ overflow: %u in flight, capacity %u",
                    ch.rpqInFlight, cfg.rpqEntries);
 
     // Command phase over the bus.
     Tick cmd_arrival = busTransfer(ch, false, 0);
-    eventq.schedule(cmd_arrival, [this, ci, req] {
+    ch.q->schedule(cmd_arrival, [this, ci, req] {
         Channel &c = channels[ci];
         c.dimm->read(req->addr, [this, ci, req](Tick) {
             // Data staged at the DIMM: grant + data return phase.
             Channel &c2 = channels[ci];
-            if (lifecycle)
-                lifecycle->onServiced(*req);
-            if (tracer) [[unlikely]]
-                tracer->onServiced(*req, eventq.curTick());
+            noteServiced(c2, req);
             Tick data_arrival = busTransfer(c2, false, req->size);
             Tick at_core = data_arrival + nsToTicks(cfg.coreToImcNs);
-            eventq.schedule(at_core, [this, ci, req, at_core] {
+            if (!kern) {
+                // Classic: one event completes the read at the core
+                // and frees the RPQ slot.
+                eventq.schedule(at_core, [this, ci, req, at_core] {
+                    Channel &c3 = channels[ci];
+                    req->complete(at_core);
+                    --c3.rpqInFlight;
+                    if (!c3.rpqWaiting.empty()) {
+                        RequestPtr next = c3.rpqWaiting.front();
+                        c3.rpqWaiting.pop_front();
+                        startRead(ci, next);
+                    }
+                });
+                return;
+            }
+            // Sharded: the RPQ slot frees channel-side at the same
+            // tick; the data-at-core completion crosses to the core
+            // shard through the outbox.
+            c2.q->schedule(at_core, [this, ci] {
                 Channel &c3 = channels[ci];
-                req->complete(at_core);
                 --c3.rpqInFlight;
                 if (!c3.rpqWaiting.empty()) {
                     RequestPtr next = c3.rpqWaiting.front();
@@ -248,6 +361,8 @@ Imc::startRead(unsigned ci, RequestPtr req)
                     startRead(ci, next);
                 }
             });
+            kern->toCore(ci, at_core,
+                         [req, at_core] { req->complete(at_core); });
         });
     });
 }
@@ -270,6 +385,12 @@ Imc::checkFences()
     if (pendingFences.empty())
         return;
 
+    // Core-side in both modes. In sharded mode this runs in phase B
+    // while the shards are parked, so reading channel state and
+    // sealing DIMMs is race-free; the seal's drain check lands on
+    // the channel queue at the window boundary (its clock), never in
+    // the shard's past.
+    //
     // Seal only once the WPQs have drained: sealing earlier would
     // split 256B blocks whose lines are still crossing the bus into
     // separate partial drains, which the real fence does not do.
@@ -315,18 +436,26 @@ Imc::checkFences()
     }
 }
 
+std::uint64_t
+Imc::channelScalarSum(const std::string &name) const
+{
+    std::uint64_t n = 0;
+    for (const auto &ch : channels)
+        n += ch.stats->scalarValue(name);
+    return n;
+}
+
 bool
 Imc::quiescent() const
 {
-    if (pendingArrivals != 0 || !pendingFences.empty() ||
-        fencePollScheduled) {
+    if (!pendingFences.empty() || fencePollScheduled)
         return false;
-    }
     for (const auto &ch : channels) {
-        if (!ch.wpqMap.empty() || !ch.wpqFifo.empty() ||
-            !ch.wpqWaiting.empty() || ch.wpqDrainBusy ||
-            !ch.wpqReadHazards.empty() || ch.rpqInFlight != 0 ||
-            !ch.rpqWaiting.empty() || !ch.dimm->quiescent()) {
+        if (ch.pendingArrivals != 0 || !ch.wpqMap.empty() ||
+            !ch.wpqFifo.empty() || !ch.wpqWaiting.empty() ||
+            ch.wpqDrainBusy || !ch.wpqReadHazards.empty() ||
+            ch.rpqInFlight != 0 || !ch.rpqWaiting.empty() ||
+            !ch.dimm->quiescent()) {
             return false;
         }
     }
@@ -340,10 +469,16 @@ Imc::snapshotTo(snapshot::StateSink &sink) const
                  "snapshot of a non-quiescent iMC");
     sink.tag("imc");
     sink.u64(channels.size());
+    sink.boolean(kern != nullptr);
+    if (kern)
+        sink.u64(kern->windowLimitTick());
     for (const Channel &ch : channels) {
         sink.u64(ch.bus.freeAt);
         sink.boolean(ch.bus.lastWasWrite);
         sink.boolean(ch.bus.used);
+        if (kern)
+            ch.q->snapshotTo(sink);
+        ch.stats->snapshotTo(sink);
         ch.dimm->snapshotTo(sink);
     }
     statGroup.snapshotTo(sink);
@@ -360,10 +495,24 @@ Imc::restoreFrom(snapshot::StateSource &src)
                  "channel count mismatch (%llu vs %zu)",
                  static_cast<unsigned long long>(n),
                  channels.size());
+    bool sharded = src.boolean();
+    VANS_REQUIRE("imc", eventq.curTick(),
+                 sharded == (kern != nullptr),
+                 "kernel mode mismatch: snapshot is %s, world is %s",
+                 sharded ? "sharded" : "classic",
+                 kern ? "sharded" : "classic");
+    if (kern)
+        kern->setWindowLimitTick(src.u64());
     for (Channel &ch : channels) {
         ch.bus.freeAt = src.u64();
         ch.bus.lastWasWrite = src.boolean();
         ch.bus.used = src.boolean();
+        // The shard queue restores before the DIMM: the DIMM re-arms
+        // its guarded timers into this queue during restore and must
+        // continue the captured tick/seq stream.
+        if (kern)
+            ch.q->restoreFrom(src);
+        ch.stats->restoreFrom(src);
         ch.dimm->restoreFrom(src);
     }
     statGroup.restoreFrom(src);

@@ -18,6 +18,17 @@
  * Across DIMMs the iMC implements the 4KB interleaving the policy
  * prober detects (Fig 7a), and fences complete at write-path
  * quiescence: every pre-fence write has reached AIT write ordering.
+ *
+ * The iMC runs on either kernel:
+ *  - classic: one EventQueue clocks everything (the original mode;
+ *    write completions fire synchronously at WPQ entry);
+ *  - sharded: a ShardedKernel gives each channel its own queue. All
+ *    channel-side state (WPQ/RPQ maps, bus, per-channel stats, the
+ *    DIMM pipeline) is touched only by that channel's shard during
+ *    phase A or by the core thread between phases; completions and
+ *    lifecycle observations cross back through the kernel's
+ *    per-shard outboxes. Fences stay core-side: checkFences reads
+ *    channel state and seals DIMMs only while the shards are parked.
  */
 
 #ifndef VANS_NVRAM_IMC_HH
@@ -31,6 +42,7 @@
 #include "common/event_queue.hh"
 #include "common/lifecycle.hh"
 #include "common/request.hh"
+#include "common/sharded_kernel.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "nvram/dimm.hh"
@@ -43,7 +55,12 @@ namespace vans::nvram
 class Imc
 {
   public:
+    /** Classic single-queue mode. */
     Imc(EventQueue &eq, const NvramConfig &cfg,
+        const std::string &name);
+
+    /** Sharded mode: one channel per kernel shard. */
+    Imc(ShardedKernel &kernel, const NvramConfig &cfg,
         const std::string &name);
 
     /** Route a 64B line to its DIMM. */
@@ -66,6 +83,15 @@ class Imc
 
     StatGroup &stats() { return statGroup; }
 
+    /** Per-channel counters (WPQ merges/stalls, bus turnarounds). */
+    StatGroup &channelStats(unsigned ci)
+    {
+        return *channels[ci].stats;
+    }
+
+    /** Sum of one per-channel scalar over all channels. */
+    std::uint64_t channelScalarSum(const std::string &name) const;
+
     /** WPQ lines currently held in ADR for channel @p ci. */
     std::size_t wpqOccupancy(unsigned ci) const
     {
@@ -81,7 +107,11 @@ class Imc
     /**
      * Lifecycle observer (verify=on): the iMC reports the queued /
      * serviced transitions of every request so the checker can
-     * re-derive the request state machine. Never owned here.
+     * re-derive the request state machine. Never owned here. In
+     * sharded mode the channel-side transitions are deferred through
+     * the kernel's outboxes and applied core-side at the barrier, in
+     * deterministic order -- the checker itself is never touched
+     * from a shard.
      */
     verify::RequestLifecycleChecker *lifecycle = nullptr;
 
@@ -95,6 +125,17 @@ class Imc
                       const std::string &name);
 
     /**
+     * Sharded-mode tracing: channel @p ci's components record into
+     * @p chan_recs[ci] (touched only by that shard); @p core_rec
+     * takes the core-side events (fences, request retirement).
+     * Recordings are stitched back into one timeline by
+     * obs::mergeRecorders.
+     */
+    void attachTracer(obs::TraceRecorder &core_rec,
+                      const std::vector<obs::TraceRecorder *> &chan_recs,
+                      const std::string &name);
+
+    /**
      * True when nothing is queued or in flight anywhere on the
      * NVRAM side: WPQs drained, no RPQ reads, no pending fences,
      * no scheduled fence poll.
@@ -102,8 +143,10 @@ class Imc
     bool quiescent() const;
 
     /**
-     * Serialize per-channel bus state, stats and every DIMM.
-     * Requires quiescent().
+     * Serialize per-channel bus state, stats and every DIMM -- plus,
+     * in sharded mode, every channel shard's queue counters and the
+     * kernel's window boundary, so a restored world reproduces the
+     * exact window grid. Requires quiescent().
      */
     void snapshotTo(snapshot::StateSink &sink) const;
     void restoreFrom(snapshot::StateSource &src);
@@ -118,7 +161,12 @@ class Imc
 
     struct Channel
     {
+        unsigned idx = 0;
+        /** The queue clocking this channel: the shard queue in
+         *  sharded mode, the shared queue in classic mode. */
+        EventQueue *q = nullptr;
         std::unique_ptr<NvramDimm> dimm;
+        std::unique_ptr<StatGroup> stats;
         // WPQ: line address -> present; FIFO order for draining.
         std::map<Addr, bool> wpqMap;
         std::deque<Addr> wpqFifo;
@@ -130,8 +178,16 @@ class Imc
         unsigned rpqInFlight = 0;
         std::deque<RequestPtr> rpqWaiting;
         DdrtBus bus;
+        /** Issued, not yet past the core-to-iMC hop (see quiescent). */
+        unsigned pendingArrivals = 0;
+        obs::TraceRecorder *tracer = nullptr;
         std::uint16_t busTrack = 0; ///< Valid while tracer set.
+        std::uint16_t lblBusRead = 0;
+        std::uint16_t lblBusWrite = 0;
     };
+
+    /** Shared constructor body. */
+    void buildChannels(const std::string &name);
 
     /**
      * Claim the channel bus for a transfer. @return transfer end
@@ -139,31 +195,33 @@ class Imc
      */
     Tick busTransfer(Channel &ch, bool write, std::uint32_t bytes);
 
+    /** Channel-side lifecycle/trace observation points. */
+    void noteQueued(Channel &ch, const RequestPtr &req);
+    void noteServiced(Channel &ch, const RequestPtr &req);
+
+    /**
+     * Complete a write at the channel's current tick: synchronously
+     * in classic mode (ADR zero-latency completion), via the
+     * barrier-merged outbox in sharded mode -- same tick, delivered
+     * in phase B.
+     */
+    void completeWrite(Channel &ch, const RequestPtr &req);
+
     void wpqInsert(Channel &ch, Addr line, RequestPtr req);
     void wpqDrain(unsigned ci);
     void startRead(unsigned ci, RequestPtr req);
     void checkFences();
 
-    EventQueue &eventq;
+    EventQueue &eventq; ///< Core queue (both modes).
+    ShardedKernel *kern = nullptr;
     NvramConfig cfg;
     std::vector<Channel> channels;
     std::vector<RequestPtr> pendingFences;
     bool fencePollScheduled = false;
 
-    /**
-     * Requests issued but not yet past the core-to-iMC hop. For the
-     * first coreToImcNs a request exists solely as a pending event,
-     * invisible to every queue above; without this count quiescent()
-     * would let a snapshot drop it. Necessarily zero at capture, so
-     * never serialized.
-     */
-    unsigned pendingArrivals = 0;
-
     StatGroup statGroup;
 
     obs::TraceRecorder *tracer = nullptr;
-    std::uint16_t lblBusRead = 0;
-    std::uint16_t lblBusWrite = 0;
 };
 
 } // namespace vans::nvram

@@ -1,7 +1,36 @@
 #include "nvram/nvram_config.hh"
 
+#include "common/logging.hh"
+
 namespace vans::nvram
 {
+
+void
+NvramConfig::validate() const
+{
+    if (numDimms < 1)
+        fatal("[nvram] num_dimms must be at least 1 (got %u)",
+              numDimms);
+    if (dimmCapacity == 0)
+        fatal("[nvram] dimm_capacity must be positive");
+    if (interleaved) {
+        // dimmOf routes with a divide + modulo; a zero or
+        // non-power-of-two interleave granularity silently skews the
+        // channel distribution every figure depends on.
+        if (interleaveBytes < cacheLineSize ||
+            (interleaveBytes & (interleaveBytes - 1)) != 0) {
+            fatal("[nvram] interleave_bytes must be a power of two "
+                  ">= %u (got %llu)",
+                  cacheLineSize,
+                  static_cast<unsigned long long>(interleaveBytes));
+        }
+        if (interleaveBytes > dimmCapacity)
+            fatal("[nvram] interleave_bytes %llu exceeds "
+                  "dimm_capacity %llu",
+                  static_cast<unsigned long long>(interleaveBytes),
+                  static_cast<unsigned long long>(dimmCapacity));
+    }
+}
 
 NvramConfig
 NvramConfig::optaneDefault()
@@ -58,6 +87,9 @@ NvramConfig::fromConfig(const Config &cfg)
     c.dimmCtrlNs = cfg.getDouble(s, "dimm_ctrl_ns", c.dimmCtrlNs);
     c.verify = cfg.getBool(s, "verify", c.verify);
     c.trace = cfg.getBool("trace", "enable", c.trace);
+    // Reject malformed topologies at parse time, before any world is
+    // built from this configuration.
+    c.validate();
     return c;
 }
 

@@ -94,6 +94,14 @@ struct NvramConfig
      *  is passive -- it never perturbs simulated timing. */
     bool trace = false;
 
+    /**
+     * Reject malformed topologies (zero DIMMs, non-power-of-two
+     * interleave granularity, interleave wider than a DIMM) via
+     * fatal(). Called by fromConfig() at parse time and by the iMC
+     * at construction.
+     */
+    void validate() const;
+
     /** Table V defaults (what the validated runs use). */
     static NvramConfig optaneDefault();
 

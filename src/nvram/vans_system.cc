@@ -19,20 +19,72 @@ VansSystem::VansSystem(EventQueue &eq, const NvramConfig &config,
       reqStats(sysName + ".requests"),
       kernelStats(sysName + ".kernel")
 {
+    initObservers();
+}
+
+VansSystem::VansSystem(ShardedKernel &kernel, const NvramConfig &config,
+                       std::string name)
+    : MemorySystem(kernel.core()),
+      cfg(config),
+      sysName(std::move(name)),
+      kern(&kernel),
+      imcModel(kernel, config, sysName + ".imc"),
+      reqStats(sysName + ".requests"),
+      kernelStats(sysName + ".kernel")
+{
+    initObservers();
+}
+
+void
+VansSystem::initObservers()
+{
     if (cfg.verify || verify::envEnabled()) {
-        verif = std::make_unique<Verifier>(eq, cfg, sysName);
+        verif = std::make_unique<Verifier>(eventq, cfg, sysName);
         imcModel.lifecycle = &verif->lifecycle();
     }
     if (cfg.trace || obs::envTraceEnabled()) {
         rec = std::make_unique<obs::TraceRecorder>();
-        imcModel.attachTracer(*rec, sysName + ".imc");
+        if (!kern) {
+            imcModel.attachTracer(*rec, sysName + ".imc");
+        } else {
+            // One recorder per shard: channel components record
+            // without synchronization; mergeRecorders stitches the
+            // parts back into one deterministic timeline.
+            std::vector<obs::TraceRecorder *> parts;
+            for (unsigned i = 0; i < kern->numChannels(); ++i) {
+                chanRecs.push_back(
+                    std::make_unique<obs::TraceRecorder>());
+                parts.push_back(chanRecs.back().get());
+            }
+            imcModel.attachTracer(*rec, parts, sysName + ".imc");
+        }
     }
+}
+
+bool
+VansSystem::step()
+{
+    return kern ? kern->step() : eventq.step();
+}
+
+std::string
+VansSystem::traceJson() const
+{
+    if (!rec)
+        return "";
+    if (chanRecs.empty())
+        return rec->toChromeJson();
+    std::vector<const obs::TraceRecorder *> parts;
+    parts.push_back(rec.get());
+    for (const auto &r : chanRecs)
+        parts.push_back(r.get());
+    return obs::mergeRecorders(parts).toChromeJson();
 }
 
 VansSystem::~VansSystem()
 {
     if (verif)
-        verif->finalCheck(*this, eventq.empty());
+        verif->finalCheck(*this, kern ? kern->idle() : eventq.empty());
 }
 
 void
@@ -89,6 +141,7 @@ VansSystem::metricsInto(MetricsRegistry &reg)
     reg.add(imcModel.stats());
     for (unsigned i = 0; i < imcModel.numDimms(); ++i) {
         NvramDimm &d = imcModel.dimm(i);
+        reg.add(imcModel.channelStats(i));
         reg.add(d.lsq().stats());
         reg.add(d.rmw().stats());
         reg.add(d.ait().stats());
@@ -97,10 +150,27 @@ VansSystem::metricsInto(MetricsRegistry &reg)
         reg.add(d.ait().dramCtrl().stats());
     }
     reg.add(reqStats);
-    // Event-kernel counters are sampled fresh on each export.
+    // Event-kernel counters are sampled fresh on each export. Every
+    // exported kernel counter is deterministic across thread counts;
+    // the sharded determinism tests byte-compare this JSON.
     kernelStats.reset();
     eventq.statsInto(kernelStats);
+    if (kern)
+        kern->statsInto(kernelStats);
     reg.add(kernelStats);
+    if (kern) {
+        if (chanKernelStats.empty()) {
+            for (unsigned i = 0; i < kern->numChannels(); ++i) {
+                chanKernelStats.push_back(std::make_unique<StatGroup>(
+                    sysName + ".kernel.ch" + std::to_string(i)));
+            }
+        }
+        for (unsigned i = 0; i < kern->numChannels(); ++i) {
+            chanKernelStats[i]->reset();
+            kern->channelQueue(i).statsInto(*chanKernelStats[i]);
+            reg.add(*chanKernelStats[i]);
+        }
+    }
 }
 
 void

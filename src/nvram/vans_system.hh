@@ -14,6 +14,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/mem_system.hh"
 #include "nvram/imc.hh"
@@ -30,9 +31,21 @@ class VansSystem : public MemorySystem
   public:
     VansSystem(EventQueue &eq, const NvramConfig &cfg,
                std::string name = "vans");
+
+    /**
+     * Sharded-kernel mode: the world is clocked by @p kern (one
+     * shard per channel; kern.core() is this system's eventQueue()).
+     * Drive it through step()/Driver exactly like the classic mode;
+     * results are bit-identical for any kernel thread count.
+     */
+    VansSystem(ShardedKernel &kern, const NvramConfig &cfg,
+               std::string name = "vans");
     ~VansSystem() override;
 
     void issue(RequestPtr req) override;
+
+    /** Steps the sharded kernel when attached, else the queue. */
+    bool step() override;
     std::string name() const override { return sysName; }
     std::uint64_t capacity() const override
     {
@@ -70,6 +83,17 @@ class VansSystem : public MemorySystem
     obs::TraceRecorder *tracer() override { return rec.get(); }
 
     /**
+     * The whole recording as Chrome trace-event JSON: the single
+     * recorder in classic mode, the per-shard recorders stitched
+     * into one deterministic timeline (obs::mergeRecorders) in
+     * sharded mode. Empty string when untraced.
+     */
+    std::string traceJson() const;
+
+    /** The attached sharded kernel, or nullptr in classic mode. */
+    ShardedKernel *shardedKernel() { return kern; }
+
+    /**
      * Register every StatGroup in the tree (iMC, per-DIMM stages,
      * media, wear, on-DIMM DRAM, per-request latency distributions,
      * event-kernel counters) for machine-readable export.
@@ -86,8 +110,12 @@ class VansSystem : public MemorySystem
     void restoreFrom(snapshot::StateSource &src) override;
 
   private:
+    /** Shared constructor tail: verifier + tracer attachment. */
+    void initObservers();
+
     NvramConfig cfg;
     std::string sysName;
+    ShardedKernel *kern = nullptr;
     Imc imcModel;
     std::unique_ptr<Verifier> verif;
 
@@ -95,11 +123,17 @@ class VansSystem : public MemorySystem
      * Trace recorder ownership (unique_ptr is legal here only:
      * simlint's tracebyvalue rule). Deliberately excluded from
      * snapshotTo/restoreFrom -- a restored world records a fresh
-     * trace, which the snapshot-identity test relies on.
+     * trace, which the snapshot-identity test relies on. In sharded
+     * mode `rec` holds the core-side events and chanRecs[ci] the
+     * events recorded by channel ci's shard.
      */
     std::unique_ptr<obs::TraceRecorder> rec;
+    std::vector<std::unique_ptr<obs::TraceRecorder>> chanRecs;
     StatGroup reqStats;
     StatGroup kernelStats;
+
+    /** Per-shard kernel counters, refreshed on each export. */
+    std::vector<std::unique_ptr<StatGroup>> chanKernelStats;
 };
 
 } // namespace vans::nvram

@@ -2,7 +2,7 @@
 """Simulator-specific lint for the VANS/LENS tree.
 
 A discrete-event simulator has correctness rules a generic linter
-does not know about. This one enforces three of them over src/:
+does not know about. This one enforces five of them over src/:
 
   wallclock   No wall-clock time or ambient randomness in simulator
               code. Simulated time comes from the EventQueue and
@@ -34,6 +34,18 @@ does not know about. This one enforces three of them over src/:
               ownership root -- both break the near-zero disabled
               path the observability layer promises.
 
+  shardshared No ad-hoc threading primitives in simulator code. The
+              sharded kernel's determinism contract says all
+              cross-shard communication flows through per-shard
+              outboxes merged at the window barrier in (tick, shard,
+              seq) order; a std::atomic / std::mutex / std::thread
+              in a model file is cross-shard mutable state touched
+              outside that merge path, which silently trades
+              bit-identical replay for whatever the scheduler does.
+              Only the concurrency layer itself (sharded_kernel,
+              parallel, and the check/logging plumbing they rely on)
+              may use these types.
+
 Findings print as file:line: [rule] message, and the exit status is
 1 when there are any -- suitable both for CI and as a ctest entry.
 """
@@ -50,6 +62,7 @@ SOURCE_GLOBS = ("*.cc", "*.hh")
 EVENT_PATH_HEADERS = (
     "src/common/event_queue.hh",
     "src/common/inplace_function.hh",
+    "src/common/sharded_kernel.hh",
     "src/dram/controller.hh",
     "src/nvram/ait.hh",
     "src/nvram/dimm.hh",
@@ -90,6 +103,23 @@ TRACE_BYVALUE_RE = re.compile(
 TRACE_SMARTPTR_RE = re.compile(
     r"\b(?:std::)?(?:unique_ptr|shared_ptr)\s*<\s*"
     r"(?:vans::)?(?:obs::)?TraceRecorder\s*>")
+
+# The concurrency layer: the only files allowed to use threading
+# primitives directly. Everything else shares state across shards
+# solely via the kernel's outbox/barrier merge.
+THREADING_OWNER_FILES = (
+    "src/common/sharded_kernel.hh",
+    "src/common/sharded_kernel.cc",
+    "src/common/parallel.hh",
+    "src/common/parallel.cc",
+    "src/common/check.hh",
+    "src/common/check.cc",
+    "src/common/logging.cc",
+)
+THREADING_RE = re.compile(
+    r"\bstd::(?:thread|jthread|mutex|recursive_mutex|shared_mutex|"
+    r"timed_mutex|condition_variable(?:_any)?|atomic\w*|future|"
+    r"promise|async|barrier|latch|semaphore)\b")
 
 STATIC_RE = re.compile(r"^\s*static\s+(?P<rest>.*)$")
 # Qualifiers and types that make a static safe to share.
@@ -142,6 +172,7 @@ def lint_file(path, rel, findings):
     rel_posix = str(rel).replace("\\", "/")
     is_event_header = rel_posix in EVENT_PATH_HEADERS
     is_trace_owner = rel_posix in TRACE_OWNER_FILES
+    is_threading_owner = rel_posix in THREADING_OWNER_FILES
 
     for lineno, raw in enumerate(lines, 1):
         allowed = allow_next or ALLOW_RE.search(raw)
@@ -176,6 +207,17 @@ def lint_file(path, rel, findings):
                      "(nvram/vans_system.*): components must hold "
                      "only a raw `TraceRecorder *` cached at attach "
                      "time so the disabled path stays one branch"))
+
+        if not is_threading_owner and not allowed:
+            tm = THREADING_RE.search(code)
+            if tm:
+                findings.append(
+                    (rel, lineno, "shardshared",
+                     f"{tm.group(0)} outside the concurrency layer: "
+                     "cross-shard state must flow through the sharded "
+                     "kernel's outbox/barrier merge (or annotate with "
+                     "simlint-allow explaining why this sharing is "
+                     "deterministic)"))
 
         m = STATIC_RE.match(code)
         if m and not allowed:
