@@ -33,6 +33,9 @@ EventQueue::acquireSlot()
         return slot;
     }
     if ((slabSize & (chunkSize - 1)) == 0)
+        // simlint-allow(hotpath: slab growth is amortized -- one
+        // chunk allocation per 128 new peak-pending slots, and none
+        // at all once the slab reaches the steady-state depth)
         chunks.push_back(std::make_unique<Callback[]>(chunkSize));
     return slabSize++;
 }

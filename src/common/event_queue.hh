@@ -41,6 +41,7 @@ namespace vans
 class StatGroup;
 
 /** A discrete-event queue with a global tick counter. */
+// simlint-hot
 class EventQueue
 {
   public:
@@ -136,6 +137,9 @@ class EventQueue
      * sifts move 24-byte PODs instead of whole closures. `slot`
      * indexes the callback slab.
      */
+    // simlint-transient(keys only exist for pending events, and the
+    // snapshot contract forbids pending events: restoreFrom REQUIREs
+    // heap.empty())
     struct Key
     {
         Tick when;
@@ -165,14 +169,25 @@ class EventQueue
 
     std::uint32_t acquireSlot();
 
+    // simlint-transient(pending events are not serialized by
+    // contract: snapshots are taken at quiescence and restoreFrom
+    // REQUIREs heap.empty, so the heap is provably empty both ways)
     std::vector<Key> heap;
     /**
      * Chunked callback slab: chunks never move, so cells stay valid
      * across growth and an executing callback may safely schedule
      * (which can grow the slab) without invalidating itself.
      */
+    // simlint-transient(slab cells hold closures for pending events
+    // only; with the heap empty by contract every cell is dead and
+    // the slab regrows on demand after restore)
     std::vector<std::unique_ptr<Callback[]>> chunks;
+    // simlint-transient(slab bookkeeping for the chunks above; dead
+    // when no event is pending and rebuilt as the restored world
+    // schedules)
     std::uint32_t slabSize = 0;
+    // simlint-transient(free-list over dead slab cells; rebuilt as
+    // the restored world schedules and retires events)
     std::vector<std::uint32_t> freeSlots;
 
     Tick now = 0;

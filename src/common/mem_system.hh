@@ -38,6 +38,10 @@ namespace vans
 class MetricsRegistry;
 
 /** Abstract timing memory system. */
+// simlint-allow(snapshotcover: the base-class snapshotTo/restoreFrom
+// are aborting stubs for systems without snapshot support; concrete
+// systems serialize lastId through the lastRequestId and
+// setLastRequestId accessors -- see VansSystem::snapshotTo)
 class MemorySystem
 {
   public:

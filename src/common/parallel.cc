@@ -30,7 +30,7 @@ ThreadPool::ThreadPool(unsigned threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mtx);
+        MutexLock lock(mtx);
         stopping = true;
     }
     taskReady.notify_all();
@@ -42,7 +42,7 @@ void
 ThreadPool::submit(std::function<void()> task)
 {
     {
-        std::lock_guard<std::mutex> lock(mtx);
+        MutexLock lock(mtx);
         tasks.push_back(std::move(task));
         ++inFlight;
     }
@@ -52,8 +52,9 @@ ThreadPool::submit(std::function<void()> task)
 void
 ThreadPool::wait()
 {
-    std::unique_lock<std::mutex> lock(mtx);
-    allDone.wait(lock, [this] { return inFlight == 0; });
+    MutexLock lock(mtx);
+    while (inFlight != 0)
+        allDone.wait(lock.native());
 }
 
 namespace
@@ -71,10 +72,9 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mtx);
-            taskReady.wait(lock, [this] {
-                return stopping || !tasks.empty();
-            });
+            MutexLock lock(mtx);
+            while (!stopping && tasks.empty())
+                taskReady.wait(lock.native());
             if (tasks.empty())
                 return; // stopping and drained
             task = std::move(tasks.front());
@@ -82,7 +82,7 @@ ThreadPool::workerLoop()
         }
         task();
         {
-            std::lock_guard<std::mutex> lock(mtx);
+            MutexLock lock(mtx);
             --inFlight;
         }
         allDone.notify_all();

@@ -26,6 +26,33 @@
 #include <thread>
 #include <vector>
 
+/**
+ * Clang thread-safety analysis (-Wthread-safety). The macros expand
+ * to nothing under gcc; CI's clang lint lane compiles the
+ * concurrency layer with -Wthread-safety -Werror so a member access
+ * outside its lock fails the build there. Keep every annotation on
+ * the declaration the analysis needs it on:
+ *
+ *   VANS_GUARDED_BY(m)   data member readable/writable only under m
+ *   VANS_REQUIRES(m)     function must be called with m held
+ *   VANS_ACQUIRE/RELEASE lock transitions (used by the wrappers)
+ */
+#if defined(__clang__)
+#define VANS_TS_ATTR(x) __attribute__((x))
+#else
+#define VANS_TS_ATTR(x)
+#endif
+
+#define VANS_CAPABILITY(name) VANS_TS_ATTR(capability(name))
+#define VANS_SCOPED_CAPABILITY VANS_TS_ATTR(scoped_lockable)
+#define VANS_GUARDED_BY(m) VANS_TS_ATTR(guarded_by(m))
+#define VANS_REQUIRES(m) VANS_TS_ATTR(requires_capability(m))
+#define VANS_ACQUIRE(...) \
+    VANS_TS_ATTR(acquire_capability(__VA_ARGS__))
+#define VANS_RELEASE(...) \
+    VANS_TS_ATTR(release_capability(__VA_ARGS__))
+#define VANS_EXCLUDES(m) VANS_TS_ATTR(locks_excluded(m))
+
 namespace vans
 {
 
@@ -34,6 +61,44 @@ namespace vans
  * (clamped to >= 1), otherwise the hardware concurrency.
  */
 unsigned hardwareThreads();
+
+/**
+ * std::mutex with a thread-safety capability attached, so members
+ * can be declared VANS_GUARDED_BY it. Condition-variable waits go
+ * through MutexLock::native().
+ */
+class VANS_CAPABILITY("mutex") Mutex
+{
+  public:
+    void lock() VANS_ACQUIRE() { m.lock(); }
+    void unlock() VANS_RELEASE() { m.unlock(); }
+
+  private:
+    friend class MutexLock;
+    std::mutex m;
+};
+
+/**
+ * Scoped lock over Mutex (the annotated std::lock_guard /
+ * std::unique_lock). native() exposes the underlying unique_lock for
+ * condition_variable::wait; write waits as explicit
+ * `while (!cond) cv.wait(lock.native());` loops so the analysis sees
+ * every read of the guarded condition under the capability.
+ */
+class VANS_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mu) VANS_ACQUIRE(mu) : lk(mu.m) {}
+    ~MutexLock() VANS_RELEASE() {}
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+    std::unique_lock<std::mutex> &native() { return lk; }
+
+  private:
+    std::unique_lock<std::mutex> lk;
+};
 
 /** A fixed-size pool of worker threads draining a task queue. */
 class ThreadPool
@@ -61,12 +126,12 @@ class ThreadPool
     void workerLoop();
 
     std::vector<std::thread> workers;
-    std::deque<std::function<void()>> tasks;
-    std::mutex mtx;
+    Mutex mtx;
+    std::deque<std::function<void()>> tasks VANS_GUARDED_BY(mtx);
     std::condition_variable taskReady;
     std::condition_variable allDone;
-    std::size_t inFlight = 0;
-    bool stopping = false;
+    std::size_t inFlight VANS_GUARDED_BY(mtx) = 0;
+    bool stopping VANS_GUARDED_BY(mtx) = false;
     unsigned numThreads;
 };
 

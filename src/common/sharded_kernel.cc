@@ -49,7 +49,7 @@ ShardedKernel::ShardedKernel(unsigned num_channels, Tick window_ticks,
 ShardedKernel::~ShardedKernel()
 {
     {
-        std::lock_guard<std::mutex> lk(mx);
+        MutexLock lk(mx);
         stopFlag.store(true, std::memory_order_release);
         epoch.fetch_add(1, std::memory_order_release);
         cvStart.notify_all();
@@ -78,10 +78,9 @@ ShardedKernel::workerMain(unsigned w)
              ++i)
             cpuRelax();
         if (epoch.load(std::memory_order_acquire) == seen) {
-            std::unique_lock<std::mutex> lk(mx);
-            cvStart.wait(lk, [&] {
-                return epoch.load(std::memory_order_relaxed) != seen;
-            });
+            MutexLock lk(mx);
+            while (epoch.load(std::memory_order_relaxed) == seen)
+                cvStart.wait(lk.native());
         }
         seen = epoch.load(std::memory_order_acquire);
         if (stopFlag.load(std::memory_order_acquire))
@@ -92,7 +91,7 @@ ShardedKernel::workerMain(unsigned w)
                 shards[i]->q.runWindow(limit);
         }
         if (doneCount.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-            std::lock_guard<std::mutex> lk(mx);
+            MutexLock lk(mx);
             cvDone.notify_one();
         }
     }
@@ -125,7 +124,7 @@ ShardedKernel::runChannels(Tick limit)
     phaseLimit = limit;
     doneCount.store(numThreads - 1, std::memory_order_relaxed);
     {
-        std::lock_guard<std::mutex> lk(mx);
+        MutexLock lk(mx);
         epoch.fetch_add(1, std::memory_order_release);
         cvStart.notify_all();
     }
@@ -141,10 +140,9 @@ ShardedKernel::runChannels(Tick limit)
          ++i)
         cpuRelax();
     if (doneCount.load(std::memory_order_acquire) != 0) {
-        std::unique_lock<std::mutex> lk(mx);
-        cvDone.wait(lk, [&] {
-            return doneCount.load(std::memory_order_relaxed) == 0;
-        });
+        MutexLock lk(mx);
+        while (doneCount.load(std::memory_order_relaxed) != 0)
+            cvDone.wait(lk.native());
     }
 }
 

@@ -59,6 +59,7 @@
 #include <vector>
 
 #include "common/event_queue.hh"
+#include "common/parallel.hh"
 #include "common/types.hh"
 
 namespace vans
@@ -67,6 +68,7 @@ namespace vans
 class StatGroup;
 
 /** A sharded discrete-event kernel for one multi-channel world. */
+// simlint-hot
 class ShardedKernel
 {
   public:
@@ -187,7 +189,15 @@ class ShardedKernel
     std::vector<std::thread> workers;
     unsigned numThreads = 1;
     int spinLimit = 0;
-    std::mutex mx;
+    /**
+     * Guards only the wakeup handshake (the condition variables'
+     * wait predicates read epoch/doneCount under it). The window
+     * payload -- phaseLimit, each Shard's hasWork flag and queue --
+     * is NOT mutex-guarded: it is published to workers by the epoch
+     * release store and handed back by the doneCount acq_rel
+     * decrement, so -Wthread-safety sees no guarded access to it.
+     */
+    Mutex mx;
     std::condition_variable cvStart;
     std::condition_variable cvDone;
     std::atomic<std::uint64_t> epoch{0};

@@ -106,7 +106,13 @@ class Ddr4Checker
     void needGap(const char *rule, Tick earlier, unsigned cycles,
                  Tick now);
 
+    // simlint-transient(construction-time configuration: the
+    // restoring world is built from the same DramTiming before
+    // restoreFrom runs, so serializing it would only duplicate the
+    // config file)
     DramTiming spec;
+    // simlint-transient(construction-time configuration, fixed by
+    // the address-map geometry the restoring world was built with)
     DramGeometry geom;
 
     // Re-derived protocol state (reset() restores all of it).
@@ -127,6 +133,9 @@ class Ddr4Checker
     bool refSeen = false;
 
     std::uint64_t numFed = 0;
+    // simlint-transient(snapshotTo REQUIREs viols.empty -- a world
+    // with recorded protocol violations has already failed and must
+    // not be captured, so there is nothing to restore)
     std::vector<Violation> viols;
 };
 

@@ -38,6 +38,8 @@ void
 DramController::enableOnlineCheck()
 {
     if (!checker)
+        // simlint-allow(hotpath: one-shot setup called before the
+        // run starts, never from an event)
         checker = std::make_unique<Ddr4Checker>(spec, map.geometry());
 }
 
@@ -79,6 +81,9 @@ DramController::access(Addr addr, bool write, std::uint32_t size,
     if (lines == 0)
         lines = 1;
 
+    // simlint-allow(hotpath: one fan-in node per CPU request on the
+    // admission side, shared by its line splits -- not a per-event
+    // allocation in the scheduler loop)
     auto parent = std::make_shared<Parent>();
     parent->remaining = lines;
     parent->done = std::move(done);

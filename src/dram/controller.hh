@@ -50,6 +50,7 @@ enum class SchedPolicy : std::uint8_t
 };
 
 /** One DRAM channel: banks, timing state, request queue. */
+// simlint-hot
 class DramController
 {
   public:
@@ -117,6 +118,9 @@ class DramController
     void restoreFrom(snapshot::StateSource &src);
 
   private:
+    // simlint-transient(Parent fan-in nodes exist only while a line
+    // request is in flight; snapshotTo REQUIREs both request queues
+    // empty, so none can be live at capture)
     struct Parent
     {
         unsigned remaining;
@@ -124,6 +128,9 @@ class DramController
         Tick lastData = 0;
     };
 
+    // simlint-transient(LineReq entries live in readQueue/writeQueue,
+    // which snapshotTo REQUIREs empty -- in-flight requests are never
+    // part of a captured world)
     struct LineReq
     {
         DramCoord coord;
@@ -172,8 +179,15 @@ class DramController
     void doRefresh();
 
     EventQueue &eventq;
+    // simlint-transient(construction-time configuration: the
+    // restoring controller is built from the same spec, and
+    // restoreFrom only reads it to size the scratch checker)
     DramTiming spec;
+    // simlint-transient(construction-time configuration shared by
+    // capture and restore worlds; never mutated after the ctor)
     AddressMap map;
+    // simlint-transient(construction-time configuration: scheduler
+    // policy enum fixed at build time)
     SchedPolicy policy;
 
     std::vector<BankState> banks;
@@ -202,13 +216,20 @@ class DramController
     Tick wakeupAt = 0;
 
     StatGroup statGroup;
+    // simlint-transient(the command trace is documented as not
+    // preserved across snapshot -- a restored world records a fresh
+    // trace, which the snapshot-identity test relies on)
     CommandTrace cmdTrace;
     /** Online protocol checker; allocated only in verified mode. */
     std::unique_ptr<Ddr4Checker> checker;
 
     obs::TraceRecorder *tracer = nullptr;
+    // simlint-transient(trace wiring assigned by attachTracer after
+    // construction; a restored world re-attaches its own recorder)
     std::uint16_t traceTrack = 0;
+    // simlint-transient(trace label id, re-interned on attachTracer)
     std::uint16_t lblRead = 0;
+    // simlint-transient(trace label id, re-interned on attachTracer)
     std::uint16_t lblWrite = 0;
 };
 

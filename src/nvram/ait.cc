@@ -227,6 +227,10 @@ Ait::startMissFetch(Addr addr, Addr page, Tick t0, DoneCallback done)
                     Addr base = pageOf(mediaAddrOf(addr));
                     Addr crit_c = alignDown(mediaAddrOf(addr),
                                             cfg.mediaChunkBytes);
+                    // simlint-allow(hotpath: one countdown cell per
+                    // AIT miss, whose cost is already a media read;
+                    // misses are bounded by the buffer miss rate,
+                    // not the event rate)
                     auto left = std::make_shared<unsigned>(
                         chunks - 1);
                     for (unsigned i = 0; i < chunks; ++i) {

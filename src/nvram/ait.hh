@@ -50,6 +50,7 @@ namespace vans::nvram
 {
 
 /** The AIT: translation + buffering between RMW buffer and media. */
+// simlint-hot
 class Ait
 {
   public:
@@ -142,6 +143,9 @@ class Ait
     InplaceFunction<bool(Addr)> writeAbsorber;
 
     /** Service time of an absorbed (lazy-cached) write, ns. */
+    // simlint-transient(tuning knob set once at wiring time next to
+    // writeAbsorber; both worlds of a fork are configured
+    // identically before restore)
     double lazyAbsorbNs = 15;
 
     /**
@@ -153,6 +157,8 @@ class Ait
     void restoreFrom(snapshot::StateSource &src);
 
   private:
+    // simlint-transient(intake-ring payload; snapshotTo REQUIREs
+    // writeQuiescent so no pending write exists at capture)
     struct PendingWrite
     {
         Addr addr = 0;
@@ -192,6 +198,8 @@ class Ait
     void drainWrites();
 
     EventQueue &eventq;
+    // simlint-transient(construction-time configuration: capture and
+    // restore worlds are built from the same NvramConfig)
     NvramConfig cfg;
     XPointMedia media;
     WearLeveler wear;
@@ -210,9 +218,18 @@ class Ait
 
     /** Bounded write intake as a fixed-capacity ring. */
     static constexpr std::size_t writeIntakeDepth = 4;
+    // simlint-transient(snapshotTo REQUIREs writeQuiescent, which
+    // means intakeCount == 0: every ring slot is dead at capture)
     std::array<PendingWrite, writeIntakeDepth> intakeRing;
+    // simlint-transient(ring cursor over an empty ring; any start
+    // position replays identically because push and pop always move
+    // together)
     std::size_t intakeHead = 0;
+    // simlint-transient(provably 0 at capture: writeQuiescent is the
+    // snapshot precondition)
     std::size_t intakeCount = 0;
+    // simlint-transient(provably false at capture: writeQuiescent is
+    // the snapshot precondition)
     bool drainBusy = false;
 
     PendingWrite &intakeFront() { return intakeRing[intakeHead]; }
@@ -222,8 +239,12 @@ class Ait
     StatGroup statGroup;
 
     obs::TraceRecorder *tracer = nullptr;
+    // simlint-transient(trace wiring assigned by attachTracer after
+    // construction; a restored world re-attaches its own recorder)
     std::uint16_t traceTrack = 0;
+    // simlint-transient(trace label id, re-interned on attachTracer)
     std::uint16_t lblMiss = 0;
+    // simlint-transient(trace label id, re-interned on attachTracer)
     std::uint16_t lblStall = 0;
 };
 

@@ -22,6 +22,7 @@ namespace vans::nvram
 {
 
 /** A complete Optane-style DIMM behind one DDR-T channel. */
+// simlint-hot
 class NvramDimm
 {
   public:
@@ -92,6 +93,8 @@ class NvramDimm
 
   private:
     EventQueue &eventq;
+    // simlint-transient(construction-time configuration: capture and
+    // restore worlds are built from the same NvramConfig)
     NvramConfig cfg;
     Ait aitStage;
     RmwBuffer rmwStage;

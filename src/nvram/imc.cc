@@ -253,12 +253,15 @@ Imc::wpqDrain(unsigned ci)
         c.wpqMap.erase(line);
 
         // Reads held on this WPQ line may now proceed to the DIMM.
+        // The released set is staged in the channel's scratch buffer
+        // (capacity retained across drains) because startRead only
+        // schedules work -- it never re-enters this drain.
         auto range = c.wpqReadHazards.equal_range(line);
-        std::vector<RequestPtr> ready;
+        c.hazardScratch.clear();
         for (auto it = range.first; it != range.second; ++it)
-            ready.push_back(it->second);
+            c.hazardScratch.push_back(it->second);
         c.wpqReadHazards.erase(range.first, range.second);
-        for (auto &r : ready)
+        for (auto &r : c.hazardScratch)
             startRead(ci, r);
 
         // Admit a waiting store into the freed slot.

@@ -52,6 +52,7 @@ namespace vans::nvram
 {
 
 /** The processor-side memory controller driving NVRAM DIMMs. */
+// simlint-hot
 class Imc
 {
   public:
@@ -161,6 +162,8 @@ class Imc
 
     struct Channel
     {
+        // simlint-transient(rebuilt by buildChannels: the restoring
+        // iMC numbers its channels before restoreFrom runs)
         unsigned idx = 0;
         /** The queue clocking this channel: the shard queue in
          *  sharded mode, the shared queue in classic mode. */
@@ -168,21 +171,47 @@ class Imc
         std::unique_ptr<NvramDimm> dimm;
         std::unique_ptr<StatGroup> stats;
         // WPQ: line address -> present; FIFO order for draining.
+        // simlint-transient(quiescent() REQUIREs the WPQ empty at
+        // capture -- posted writes must have drained)
         std::map<Addr, bool> wpqMap;
+        // simlint-transient(drain order over an empty WPQ; see
+        // quiescent())
         std::deque<Addr> wpqFifo;
+        // simlint-transient(admission queue, empty at quiescence)
         std::deque<RequestPtr> wpqWaiting;
+        // simlint-transient(provably false once the WPQ is drained;
+        // quiescent() is the snapshot precondition)
         bool wpqDrainBusy = false;
         // Reads blocked on a WPQ line (read-after-write at the iMC).
+        // simlint-transient(hazard waiters require a WPQ occupant,
+        // and the WPQ is empty at quiescence)
         std::multimap<Addr, RequestPtr> wpqReadHazards;
+        /** Drain-time staging for released hazards, hoisted out of
+         *  wpqDrain so the event path reuses its capacity. */
+        // simlint-transient(scratch: cleared before every use and
+        // dead between drains)
+        std::vector<RequestPtr> hazardScratch;
         // RPQ.
+        // simlint-transient(provably 0 at capture: quiescent() counts
+        // in-flight reads)
         unsigned rpqInFlight = 0;
+        // simlint-transient(admission queue, empty at quiescence)
         std::deque<RequestPtr> rpqWaiting;
         DdrtBus bus;
         /** Issued, not yet past the core-to-iMC hop (see quiescent). */
+        // simlint-transient(provably 0 at capture: quiescent() checks
+        // it -- the PR-3 pendingArrivals hole is closed by the
+        // quiescence gate, not by serialization)
         unsigned pendingArrivals = 0;
         obs::TraceRecorder *tracer = nullptr;
+        // simlint-transient(trace wiring re-established by
+        // attachTracer in the restored world)
         std::uint16_t busTrack = 0; ///< Valid while tracer set.
+        // simlint-transient(trace label id, re-interned on
+        // attachTracer)
         std::uint16_t lblBusRead = 0;
+        // simlint-transient(trace label id, re-interned on
+        // attachTracer)
         std::uint16_t lblBusWrite = 0;
     };
 
@@ -214,9 +243,15 @@ class Imc
 
     EventQueue &eventq; ///< Core queue (both modes).
     ShardedKernel *kern = nullptr;
+    // simlint-transient(construction-time configuration: capture and
+    // restore worlds are built from the same NvramConfig)
     NvramConfig cfg;
     std::vector<Channel> channels;
+    // simlint-transient(a pending fence implies outstanding writes,
+    // which quiescent() -- the snapshot precondition -- rules out)
     std::vector<RequestPtr> pendingFences;
+    // simlint-transient(provably false at capture: the fence poll
+    // only runs while pendingFences is non-empty)
     bool fencePollScheduled = false;
 
     StatGroup statGroup;

@@ -38,6 +38,7 @@ namespace vans::nvram
 {
 
 /** Write-combining load-store queue in the DIMM controller. */
+// simlint-hot
 class Lsq
 {
   public:
@@ -110,6 +111,9 @@ class Lsq
     void restoreFrom(snapshot::StateSource &src);
 
   private:
+    // simlint-transient(groups exist only while writes are queued;
+    // snapshotTo REQUIREs writeQuiescent with numEntries == 0, so
+    // the map holding these is empty at capture)
     struct Group
     {
         Addr block; ///< 256B-aligned.
@@ -145,22 +149,39 @@ class Lsq
     std::size_t countedEntries() const;
 
     EventQueue &eventq;
+    // simlint-transient(construction-time configuration: capture and
+    // restore worlds are built from the same NvramConfig)
     NvramConfig cfg;
     RmwBuffer &rmw;
 
+    // simlint-transient(empty at capture: snapshotTo REQUIREs
+    // writeQuiescent and numEntries == 0)
     std::map<Addr, Group> groups; ///< Ordered: stable iteration.
+    // simlint-transient(provably 0 at capture, REQUIREd by
+    // snapshotTo)
     std::size_t numEntries = 0;
+    // simlint-transient(non-zero only while a group drain is in
+    // flight, which writeQuiescent rules out)
     unsigned drainLatch = 0; ///< Groups between LSQ and RMW accept.
 
+    // simlint-transient(provably false at capture, REQUIREd by
+    // snapshotTo)
     bool drainCheckScheduled = false;
+    // simlint-transient(meaningful only while drainCheckScheduled,
+    // which the snapshot precondition rules out)
     Tick drainCheckAt = 0;
 
     StatGroup statGroup;
 
     obs::TraceRecorder *tracer = nullptr;
+    // simlint-transient(trace wiring assigned by attachTracer after
+    // construction; a restored world re-attaches its own recorder)
     std::uint16_t traceTrack = 0;
+    // simlint-transient(trace label id, re-interned on attachTracer)
     std::uint16_t lblDrain = 0;
+    // simlint-transient(trace label id, re-interned on attachTracer)
     std::uint16_t lblHazard = 0;
+    // simlint-transient(trace label id, re-interned on attachTracer)
     std::uint16_t lblOccupancy = 0;
 };
 

@@ -35,6 +35,7 @@ namespace vans::nvram
 {
 
 /** The non-volatile media array behind the AIT. */
+// simlint-hot
 class XPointMedia
 {
   public:
@@ -99,6 +100,8 @@ class XPointMedia
         Fill,
     };
 
+    // simlint-transient(ops live in the per-partition queues, and
+    // snapshotTo REQUIREs pendingOps() == 0: none exist at capture)
     struct Op
     {
         bool write;
@@ -110,10 +113,20 @@ class XPointMedia
     struct Partition
     {
         Tick freeAt = 0;
+        // simlint-transient(true only while an op occupies the
+        // partition; pendingOps() == 0 is the snapshot precondition)
         bool busy = false;
+        // simlint-transient(queued ops, empty at capture by the
+        // pendingOps REQUIRE)
         std::deque<Op> demand;
+        // simlint-transient(queued ops, empty at capture by the
+        // pendingOps REQUIRE)
         std::deque<Op> writes;
+        // simlint-transient(queued ops, empty at capture by the
+        // pendingOps REQUIRE)
         std::deque<Op> fills;
+        // simlint-transient(trace wiring re-established by
+        // attachTracer in the restored world)
         std::uint16_t traceTrack = 0; ///< Valid while tracer set.
     };
 
@@ -123,16 +136,27 @@ class XPointMedia
     void kick(unsigned pi);
 
     EventQueue &eventq;
+    // simlint-transient(construction-time configuration: capture and
+    // restore worlds are built from the same NvramConfig)
     NvramConfig cfg;
     std::vector<Partition> partitions;
+    // simlint-transient(latency derived from cfg in the constructor,
+    // never mutated afterwards)
     Tick readTicks;
+    // simlint-transient(latency derived from cfg in the constructor,
+    // never mutated afterwards)
     Tick writeTicks;
+    // simlint-transient(constant structural limit fixed at
+    // construction)
     std::uint64_t maxQueueDepth = 4;
     StatGroup statGroup;
 
     obs::TraceRecorder *tracer = nullptr;
+    // simlint-transient(trace label id, re-interned on attachTracer)
     std::uint16_t lblRead = 0;
+    // simlint-transient(trace label id, re-interned on attachTracer)
     std::uint16_t lblWrite = 0;
+    // simlint-transient(trace label id, re-interned on attachTracer)
     std::uint16_t lblFill = 0;
 };
 

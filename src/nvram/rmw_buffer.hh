@@ -39,6 +39,7 @@ namespace vans::nvram
 {
 
 /** 64-entry x 256B SRAM staging buffer in front of the AIT. */
+// simlint-hot
 class RmwBuffer
 {
   public:
@@ -107,6 +108,9 @@ class RmwBuffer
     {
         Addr line;
         State state = State::Clean;
+        // simlint-transient(snapshotTo REQUIREs every entry Clean,
+        // and clean entries have no dirty bytes; restoreFrom
+        // re-zeroes it explicitly)
         std::uint32_t dirtyBytes = 0;
         /** Entry exists only to stage a write: freed after issue.
          *  Read-fill entries are retained clean instead -- the RMW
@@ -114,6 +118,9 @@ class RmwBuffer
          *  writes (paper: "issues FIFO requests to the AIT"). */
         bool writeStaging = false;
         bool inCleanLru = false; ///< Present in the LRU list.
+        // simlint-transient(waiters exist only on in-flight entries;
+        // snapshotTo REQUIREs every entry Clean with
+        // mergeWaiters.empty())
         std::vector<DoneCallback> mergeWaiters;
     };
 
@@ -136,13 +143,20 @@ class RmwBuffer
     std::size_t countedClean() const;
 
     EventQueue &eventq;
+    // simlint-transient(construction-time configuration: capture and
+    // restore worlds are built from the same NvramConfig)
     NvramConfig cfg;
     Ait &ait;
 
     std::unordered_map<Addr, Entry> entries;
     std::list<Addr> cleanLru;          ///< Front = most recent.
     std::size_t cleanCount = 0;        ///< Entries in State::Clean.
+    // simlint-transient(holds dirty lines only; writeQuiescent --
+    // the snapshot precondition -- means none exist, and restoreFrom
+    // REQUIREs it empty)
     std::deque<Addr> issueFifo;        ///< Dirty lines, FIFO to AIT.
+    // simlint-transient(provably false at capture: the issue engine
+    // runs only while issueFifo is non-empty)
     bool issueBusy = false;
     /** Write-staging fills in flight. The staging pipeline is FIFO
      *  (paper section IV-A), so an open read-modify-write fill
@@ -153,9 +167,14 @@ class RmwBuffer
     StatGroup statGroup;
 
     obs::TraceRecorder *tracer = nullptr;
+    // simlint-transient(trace wiring assigned by attachTracer after
+    // construction; a restored world re-attaches its own recorder)
     std::uint16_t traceTrack = 0;
+    // simlint-transient(trace label id, re-interned on attachTracer)
     std::uint16_t lblFill = 0;
+    // simlint-transient(trace label id, re-interned on attachTracer)
     std::uint16_t lblReadMiss = 0;
+    // simlint-transient(trace label id, re-interned on attachTracer)
     std::uint16_t lblOccupancy = 0;
 };
 

@@ -113,10 +113,17 @@ class VansSystem : public MemorySystem
     /** Shared constructor tail: verifier + tracer attachment. */
     void initObservers();
 
+    // simlint-transient(construction-time configuration: capture and
+    // restore worlds are built from the same NvramConfig)
     NvramConfig cfg;
+    // simlint-transient(construction-time name; restoreFrom REQUIREs
+    // the stream's stat-group names to match, which pins it)
     std::string sysName;
     ShardedKernel *kern = nullptr;
     Imc imcModel;
+    // simlint-transient(the verifier shadows in-flight requests, of
+    // which there are none at quiescence; a restored world verifies
+    // its own fresh request stream)
     std::unique_ptr<Verifier> verif;
 
     /**
@@ -127,12 +134,23 @@ class VansSystem : public MemorySystem
      * mode `rec` holds the core-side events and chanRecs[ci] the
      * events recorded by channel ci's shard.
      */
+    // simlint-transient(documented above: trace recorders are
+    // deliberately excluded from snapshotTo/restoreFrom)
     std::unique_ptr<obs::TraceRecorder> rec;
+    // simlint-transient(documented above: trace recorders are
+    // deliberately excluded from snapshotTo/restoreFrom)
     std::vector<std::unique_ptr<obs::TraceRecorder>> chanRecs;
+    // simlint-transient(holds latency distributions only, and
+    // distributions are observability-only by the StatGroup snapshot
+    // contract; a fork samples its own fresh latencies)
     StatGroup reqStats;
+    // simlint-transient(derived view: metricsInto rebuilds it from
+    // the event queue and kernel on every export)
     StatGroup kernelStats;
 
     /** Per-shard kernel counters, refreshed on each export. */
+    // simlint-transient(derived view rebuilt by metricsInto from the
+    // live shard queues on every export)
     std::vector<std::unique_ptr<StatGroup>> chanKernelStats;
 };
 

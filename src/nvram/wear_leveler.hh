@@ -41,6 +41,7 @@ namespace vans::nvram
 {
 
 /** Tracks per-block wear and runs background migrations. */
+// simlint-hot
 class WearLeveler
 {
   public:
@@ -112,15 +113,23 @@ class WearLeveler
     Addr blockOf(Addr addr) const { return addr / cfg.wearBlockBytes; }
 
     EventQueue &eventq;
+    // simlint-transient(construction-time configuration: capture and
+    // restore worlds are built from the same NvramConfig)
     NvramConfig cfg;
     std::unordered_map<Addr, std::uint64_t> wearCount;
     std::unordered_map<Addr, Tick> migrating; ///< block -> end tick.
     StatGroup statGroup;
 
     obs::TraceRecorder *tracer = nullptr;
+    // simlint-transient(trace wiring assigned by attachTracer after
+    // construction; a restored world re-attaches its own recorder)
     std::uint16_t traceTrack = 0;
+    // simlint-transient(trace label id, re-interned on attachTracer)
     std::uint16_t lblMigration = 0;
     /** block -> open migration flow id (traced runs only). */
+    // simlint-transient(open trace flows track in-flight migrations,
+    // and snapshotTo REQUIREs migrating.empty; a restored world
+    // records a fresh trace anyway)
     std::unordered_map<Addr, std::uint64_t> migrationFlows;
 };
 

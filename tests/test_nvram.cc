@@ -398,6 +398,45 @@ TEST(Imc, NonInterleavedUsesCapacityRouting)
     EXPECT_EQ(imc.dimmOf(cfg.dimmCapacity), 1u);
 }
 
+TEST(Imc, WpqHazardBurstReleasedByOneDrain)
+{
+    VansFixture f;
+    auto &imc = f.sys.imc();
+    // Two rounds on the same channel: the drain that retires a WPQ
+    // line must release every read parked behind it, and the second
+    // round reuses the channel's hazard staging buffer.
+    constexpr unsigned kReaders = 4;
+    unsigned completed = 0;
+    for (unsigned round = 0; round < 2; ++round) {
+        Addr line = static_cast<Addr>(round) * 64;
+        auto w = makeRequest(line, MemOp::WriteNT);
+        w->onComplete = [&completed](Request &) { ++completed; };
+        f.sys.issue(w);
+        // Issued the same tick as the write, the reads' arrival
+        // events run after the write's (seq-FIFO), so each sees the
+        // line held in the WPQ and parks on it.
+        for (unsigned i = 0; i < kReaders; ++i) {
+            auto r = makeRequest(line, MemOp::ReadNT);
+            r->onComplete = [&completed](Request &) { ++completed; };
+            f.sys.issue(r);
+        }
+        // Step, don't run(): the AIT buffer's refresh timer keeps
+        // the queue populated forever.
+        unsigned want = (round + 1) * (kReaders + 1);
+        while (completed < want && f.eq.step()) {
+        }
+        ASSERT_EQ(completed, want);
+    }
+    EXPECT_EQ(completed, 2 * (kReaders + 1));
+    EXPECT_EQ(imc.channelScalarSum("wpq_read_hazards"),
+              2 * kReaders);
+    // A fence drains the write path; after idling out background
+    // fills, nothing may be left parked on a hazard.
+    f.drv.fence();
+    f.drv.idle(nsToTicks(5000));
+    EXPECT_TRUE(imc.quiescent());
+}
+
 TEST(Imc, BusTurnaroundsCounted)
 {
     VansFixture f;

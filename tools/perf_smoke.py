@@ -37,7 +37,7 @@ def load_throughputs(path):
     (it is what keeps the gate stable on noisy runners). Reports
     without repetitions fall back to the single run as before.
     """
-    with open(path) as f:
+    with open(path, "r", encoding="utf-8") as f:
         report = json.load(f)
     out = {}
     medians = {}

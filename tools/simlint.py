@@ -1,263 +1,20 @@
 #!/usr/bin/env python3
-"""Simulator-specific lint for the VANS/LENS tree.
+"""Simulator-specific lint for the VANS/LENS tree (launcher).
 
-A discrete-event simulator has correctness rules a generic linter
-does not know about. This one enforces five of them over src/:
-
-  wallclock   No wall-clock time or ambient randomness in simulator
-              code. Simulated time comes from the EventQueue and
-              randomness from seeded Rng instances; anything else
-              breaks run-to-run determinism (and with it, the
-              figure-reproduction benches).
-
-  stdfunction No std::function in the event-kernel headers. The
-              kernel's zero-allocation contract depends on
-              InplaceCallback; a std::function smuggled into the
-              event path reintroduces per-event heap traffic.
-
-  mutablestatic
-              No unguarded mutable statics. Simulated systems run
-              concurrently under parallelFor (the sweep runner), so
-              any mutable static is shared state across simulations.
-              const/constexpr/thread_local/std::atomic/std::mutex
-              are fine; anything else needs an explicit
-              `simlint-allow` comment on or above the declaration
-              explaining why it is safe.
-
-  tracebyvalue
-              Components reference the trace recorder only through a
-              raw `TraceRecorder *` (nullptr when tracing is off).
-              A by-value member or a smart-pointer owner anywhere
-              but the recorder's home (common/trace_event.*) and its
-              single owner (nvram/vans_system.*) would either bloat
-              every component with recorder state or create a second
-              ownership root -- both break the near-zero disabled
-              path the observability layer promises.
-
-  shardshared No ad-hoc threading primitives in simulator code. The
-              sharded kernel's determinism contract says all
-              cross-shard communication flows through per-shard
-              outboxes merged at the window barrier in (tick, shard,
-              seq) order; a std::atomic / std::mutex / std::thread
-              in a model file is cross-shard mutable state touched
-              outside that merge path, which silently trades
-              bit-identical replay for whatever the scheduler does.
-              Only the concurrency layer itself (sharded_kernel,
-              parallel, and the check/logging plumbing they rely on)
-              may use these types.
-
-Findings print as file:line: [rule] message, and the exit status is
-1 when there are any -- suitable both for CI and as a ctest entry.
+The implementation lives in the tools/simlint/ package: a small C++
+declaration model (lexer + class/member/method extractor) feeding
+per-line determinism rules and cross-file coverage rules
+(snapshotcover, statscover, layering, hotpath). Run with --list-rules
+for the catalog, --sarif for GitHub code-scanning output, --baseline
+for the committed-debt workflow. See DESIGN.md "Static analysis".
 """
 
-import argparse
-import re
 import sys
 from pathlib import Path
 
-SOURCE_GLOBS = ("*.cc", "*.hh")
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-# Headers on the per-event hot path: scheduling one event must not
-# touch these abstractions' heap-allocating types.
-EVENT_PATH_HEADERS = (
-    "src/common/event_queue.hh",
-    "src/common/inplace_function.hh",
-    "src/common/sharded_kernel.hh",
-    "src/dram/controller.hh",
-    "src/nvram/ait.hh",
-    "src/nvram/dimm.hh",
-    "src/nvram/imc.hh",
-    "src/nvram/lsq.hh",
-    "src/nvram/media.hh",
-    "src/nvram/rmw_buffer.hh",
-    "src/nvram/wear_leveler.hh",
-)
-
-WALLCLOCK_PATTERNS = (
-    (re.compile(r"std::chrono"), "std::chrono wall-clock time"),
-    (re.compile(r"\b\w+_clock::now\s*\("), "wall-clock now()"),
-    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday()"),
-    (re.compile(r"\bclock_gettime\s*\("), "clock_gettime()"),
-    (re.compile(r"(?<![\w:])time\s*\(\s*(NULL|nullptr|0)?\s*\)"),
-     "time()"),
-    (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand()"),
-    (re.compile(r"\brandom_device\b"), "std::random_device"),
-)
-
-ALLOW_RE = re.compile(r"simlint-allow")
-
-# Files allowed to hold TraceRecorder state by value / by ownership:
-# the recorder's own definition and its single owner.
-TRACE_OWNER_FILES = (
-    "src/common/trace_event.hh",
-    "src/common/trace_event.cc",
-    "src/nvram/vans_system.hh",
-    "src/nvram/vans_system.cc",
-)
-# A by-value TraceRecorder member/local: `TraceRecorder name` not
-# followed by `*` or `&` (pointer/reference declarations stay legal
-# everywhere).
-TRACE_BYVALUE_RE = re.compile(
-    r"\bTraceRecorder\s+[A-Za-z_]\w*\s*[;={(]")
-# Smart-pointer ownership of the recorder outside its owner files.
-TRACE_SMARTPTR_RE = re.compile(
-    r"\b(?:std::)?(?:unique_ptr|shared_ptr)\s*<\s*"
-    r"(?:vans::)?(?:obs::)?TraceRecorder\s*>")
-
-# The concurrency layer: the only files allowed to use threading
-# primitives directly. Everything else shares state across shards
-# solely via the kernel's outbox/barrier merge.
-THREADING_OWNER_FILES = (
-    "src/common/sharded_kernel.hh",
-    "src/common/sharded_kernel.cc",
-    "src/common/parallel.hh",
-    "src/common/parallel.cc",
-    "src/common/check.hh",
-    "src/common/check.cc",
-    "src/common/logging.cc",
-)
-THREADING_RE = re.compile(
-    r"\bstd::(?:thread|jthread|mutex|recursive_mutex|shared_mutex|"
-    r"timed_mutex|condition_variable(?:_any)?|atomic\w*|future|"
-    r"promise|async|barrier|latch|semaphore)\b")
-
-STATIC_RE = re.compile(r"^\s*static\s+(?P<rest>.*)$")
-# Qualifiers and types that make a static safe to share.
-STATIC_SAFE_RE = re.compile(
-    r"^(const\b|constexpr\b|thread_local\b|std::atomic\b|"
-    r"std::mutex\b|std::once_flag\b)"
-)
-# A declaration like `static Foo bar(...);` or `static Foo bar();`
-# with the parens directly after an identifier is a member-function
-# or factory declaration, not an object definition. The second form
-# is a declaration whose default-argument list continues on the next
-# line (`static Foo bar(std::uint64_t x =`).
-FUNC_DECL_RE = re.compile(r"[A-Za-z_]\w*\s*\([^;]*\)\s*(const\s*)?;\s*$")
-FUNC_DECL_CONT_RE = re.compile(r"[A-Za-z_]\w*\s*\([^)]*=\s*$")
-
-
-def strip_comments(line, in_block):
-    """Remove comment text; returns (code, still_in_block)."""
-    out = []
-    i = 0
-    while i < len(line):
-        if in_block:
-            end = line.find("*/", i)
-            if end < 0:
-                return "".join(out), True
-            i = end + 2
-            in_block = False
-            continue
-        if line.startswith("//", i):
-            break
-        if line.startswith("/*", i):
-            in_block = True
-            i += 2
-            continue
-        out.append(line[i])
-        i += 1
-    return "".join(out), in_block
-
-
-def lint_file(path, rel, findings):
-    try:
-        text = path.read_text(errors="replace")
-    except OSError as e:
-        findings.append((rel, 0, "io", str(e)))
-        return
-
-    lines = text.splitlines()
-    in_block = False
-    allow_next = False
-    rel_posix = str(rel).replace("\\", "/")
-    is_event_header = rel_posix in EVENT_PATH_HEADERS
-    is_trace_owner = rel_posix in TRACE_OWNER_FILES
-    is_threading_owner = rel_posix in THREADING_OWNER_FILES
-
-    for lineno, raw in enumerate(lines, 1):
-        allowed = allow_next or ALLOW_RE.search(raw)
-        # An allow comment on its own line covers the next line too.
-        allow_next = bool(ALLOW_RE.search(raw))
-
-        code, in_block = strip_comments(raw, in_block)
-        if not code.strip():
-            continue
-
-        if not allowed:
-            for pat, what in WALLCLOCK_PATTERNS:
-                if pat.search(code):
-                    findings.append(
-                        (rel, lineno, "wallclock",
-                         f"{what}: simulated time must come from the "
-                         "EventQueue, randomness from a seeded Rng"))
-
-        if is_event_header and "std::function" in code:
-            findings.append(
-                (rel, lineno, "stdfunction",
-                 "std::function in an event-path header: use "
-                 "InplaceCallback to keep scheduling allocation-free"))
-
-        if not is_trace_owner and not allowed:
-            if (TRACE_BYVALUE_RE.search(code)
-                    or TRACE_SMARTPTR_RE.search(code)):
-                findings.append(
-                    (rel, lineno, "tracebyvalue",
-                     "TraceRecorder held by value or by smart "
-                     "pointer outside its owner "
-                     "(nvram/vans_system.*): components must hold "
-                     "only a raw `TraceRecorder *` cached at attach "
-                     "time so the disabled path stays one branch"))
-
-        if not is_threading_owner and not allowed:
-            tm = THREADING_RE.search(code)
-            if tm:
-                findings.append(
-                    (rel, lineno, "shardshared",
-                     f"{tm.group(0)} outside the concurrency layer: "
-                     "cross-shard state must flow through the sharded "
-                     "kernel's outbox/barrier merge (or annotate with "
-                     "simlint-allow explaining why this sharing is "
-                     "deterministic)"))
-
-        m = STATIC_RE.match(code)
-        if m and not allowed:
-            rest = m.group("rest").strip()
-            if (STATIC_SAFE_RE.match(rest)
-                    or FUNC_DECL_RE.search(rest)
-                    or FUNC_DECL_CONT_RE.search(rest)
-                    # Return type on its own line / pure declarators.
-                    or not re.search(r"[;={]\s*$", rest)):
-                continue
-            findings.append(
-                (rel, lineno, "mutablestatic",
-                 "mutable static shared across parallelFor "
-                 "simulations; guard it (atomic/mutex/const) or "
-                 "annotate with a simlint-allow comment"))
-
-
-def main(argv):
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--root", default=None,
-                    help="repository root (default: tools/..)")
-    args = ap.parse_args(argv)
-
-    root = Path(args.root) if args.root else \
-        Path(__file__).resolve().parent.parent
-    src = root / "src"
-    if not src.is_dir():
-        print(f"simlint: no src/ under {root}", file=sys.stderr)
-        return 2
-
-    findings = []
-    files = sorted(p for g in SOURCE_GLOBS for p in src.rglob(g))
-    for path in files:
-        lint_file(path, path.relative_to(root), findings)
-
-    for rel, lineno, rule, msg in findings:
-        print(f"{rel}:{lineno}: [{rule}] {msg}")
-    print(f"simlint: {len(files)} files, {len(findings)} finding(s)")
-    return 1 if findings else 0
-
+from simlint.cli import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main(sys.argv[1:]))

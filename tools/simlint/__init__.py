@@ -1,0 +1,14 @@
+"""simlint: simulator-specific static analysis for the VANS tree.
+
+v2 grew the original five regex rules into a declaration-aware suite:
+a small C++ lexer + class/member/method extractor (tuned to this
+repo's clang-format-enforced style) feeds cross-file rules that check
+snapshot completeness, metrics reachability, include-graph layering,
+and hot-path allocation discipline, alongside the original per-line
+determinism rules.
+
+Entry point: ``python3 tools/simlint.py`` (thin wrapper) or
+``python3 -m simlint.cli`` with tools/ on sys.path.
+"""
+
+__version__ = "2.0"

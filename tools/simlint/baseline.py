@@ -1,0 +1,69 @@
+"""Committed-baseline support: existing debt is visible but not
+fatal; NEW findings always are.
+
+A baseline entry keys on (rule, file, content-hash-of-line) rather
+than the line number, so unrelated edits above a baselined finding do
+not resurrect it, while any change to the offending line itself (or
+fixing it) retires the entry. `--write-baseline` snapshots the
+current findings; the file is committed, so new debt cannot land
+silently -- it either fails CI or shows up in the diff of the
+baseline file for a reviewer to reject.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+
+def _finding_key(finding, code_line):
+    h = hashlib.sha256()
+    basis = "|".join((finding.rule,
+                      finding.file.replace("\\", "/"),
+                      (code_line or finding.message).strip()))
+    h.update(basis.encode("utf-8"))
+    return h.hexdigest()[:20]
+
+
+def _code_line(files_by_rel, finding):
+    sf = files_by_rel.get(finding.file)
+    if sf and 1 <= finding.line <= len(sf.code_lines):
+        return sf.code_lines[finding.line - 1]
+    return None
+
+
+def load(path):
+    """Baseline file -> set of keys. Missing file = empty baseline."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except FileNotFoundError:
+        return set()
+    return {e["key"] for e in doc.get("findings", [])}
+
+
+def write(path, findings, files_by_rel):
+    entries = [
+        {
+            "key": _finding_key(f, _code_line(files_by_rel, f)),
+            "rule": f.rule,
+            "file": f.file.replace("\\", "/"),
+            "message": f.message,
+        }
+        for f in findings
+    ]
+    entries.sort(key=lambda e: (e["file"], e["rule"], e["key"]))
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump({"version": 1, "findings": entries}, f, indent=2)
+        f.write("\n")
+
+
+def split(findings, keys, files_by_rel):
+    """(new, baselined) partition of ``findings`` against ``keys``."""
+    new, old = [], []
+    for f in findings:
+        if _finding_key(f, _code_line(files_by_rel, f)) in keys:
+            old.append(f)
+        else:
+            new.append(f)
+    return new, old

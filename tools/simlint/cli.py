@@ -1,0 +1,120 @@
+"""simlint command line: scan, report (text/SARIF), baseline.
+
+Exit status: 0 clean (after baseline subtraction), 1 findings,
+2 usage/environment error. Python >= 3.8.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import __version__, baseline, model, rules, sarif
+
+SOURCE_GLOBS = ("*.cc", "*.hh")
+
+
+def _parse_worker(args):
+    path, rel = args
+    return model.parse_file(path, rel)
+
+
+def _parse_all(pairs, jobs):
+    if jobs > 1 and len(pairs) > 1:
+        try:
+            import multiprocessing
+            with multiprocessing.Pool(min(jobs, len(pairs))) as pool:
+                return pool.map(_parse_worker, pairs, chunksize=4)
+        except (ImportError, OSError):
+            pass  # platforms without fork/semaphores: scan serially
+    return [_parse_worker(p) for p in pairs]
+
+
+def build_arg_parser():
+    ap = argparse.ArgumentParser(
+        prog="simlint",
+        description="Simulator-specific static analysis for the "
+                    "VANS tree (v%s)." % __version__)
+    ap.add_argument("--root", default=None,
+                    help="repository root (default: tools/..)")
+    ap.add_argument("--rules", default=None, metavar="R1,R2",
+                    help="comma-separated rules to run "
+                         "(default: all)")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print the rule catalog and exit")
+    ap.add_argument("--sarif", default=None, metavar="FILE",
+                    help="also write findings as SARIF 2.1.0")
+    ap.add_argument("--baseline", default=None, metavar="FILE",
+                    help="suppress findings recorded in this "
+                         "committed baseline")
+    ap.add_argument("--write-baseline", default=None, metavar="FILE",
+                    help="record current findings as the new "
+                         "baseline and exit 0")
+    ap.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="parallel file-parsing processes "
+                         "(default 1)")
+    return ap
+
+
+def main(argv=None):
+    args = build_arg_parser().parse_args(argv)
+
+    if args.list_rules:
+        for name in sorted(rules.ALL_RULES):
+            print("%-14s %s" % (name, rules.ALL_RULES[name][1]))
+        return 0
+
+    root = Path(args.root).resolve() if args.root else \
+        Path(__file__).resolve().parent.parent.parent
+    src = root / "src"
+    if not src.is_dir():
+        print("simlint: no src/ under %s" % root, file=sys.stderr)
+        return 2
+
+    rule_names = None
+    if args.rules is not None:
+        rule_names = {r.strip() for r in args.rules.split(",")
+                      if r.strip()}
+        unknown = rule_names - set(rules.ALL_RULES)
+        if unknown:
+            print("simlint: unknown rule(s): %s (try --list-rules)"
+                  % ", ".join(sorted(unknown)), file=sys.stderr)
+            return 2
+
+    pairs = sorted(
+        (str(p), str(p.relative_to(root)).replace("\\", "/"))
+        for g in SOURCE_GLOBS for p in src.rglob(g))
+    files = _parse_all(pairs, max(1, args.jobs))
+    files_by_rel = {sf.rel: sf for sf in files}
+
+    findings = rules.run_rules(files, rule_names)
+
+    if args.write_baseline:
+        baseline.write(args.write_baseline, findings, files_by_rel)
+        print("simlint: wrote %d finding(s) to baseline %s"
+              % (len(findings), args.write_baseline))
+        return 0
+
+    baselined = []
+    if args.baseline:
+        keys = baseline.load(args.baseline)
+        findings, baselined = baseline.split(findings, keys,
+                                             files_by_rel)
+
+    for f in findings:
+        print("%s:%d: [%s] %s" % (f.file, f.line, f.rule, f.message))
+
+    if args.sarif:
+        sarif.write_sarif(args.sarif, findings)
+
+    tail = ""
+    if baselined:
+        tail = ", %d baselined (pre-existing debt)" % len(baselined)
+    print("simlint: %d files, %d finding(s)%s"
+          % (len(files), len(findings), tail))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

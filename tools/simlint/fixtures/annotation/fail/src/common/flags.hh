@@ -1,0 +1,15 @@
+#ifndef FIXTURE_COMMON_FLAGS_HH
+#define FIXTURE_COMMON_FLAGS_HH
+
+namespace vans
+{
+
+struct Flags
+{
+    // simlint-transient
+    bool scratch = false;
+};
+
+} // namespace vans
+
+#endif

@@ -1,0 +1,16 @@
+#ifndef FIXTURE_COMMON_FLAGS_HH
+#define FIXTURE_COMMON_FLAGS_HH
+
+namespace vans
+{
+
+struct Flags
+{
+    // simlint-transient(scratch: cleared at the start of every
+    // window and never read across one)
+    bool scratch = false;
+};
+
+} // namespace vans
+
+#endif

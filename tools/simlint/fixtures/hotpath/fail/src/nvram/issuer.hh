@@ -1,0 +1,27 @@
+#ifndef FIXTURE_NVRAM_ISSUER_HH
+#define FIXTURE_NVRAM_ISSUER_HH
+
+#include <vector>
+
+namespace vans::nvram
+{
+
+// simlint-hot
+class Issuer
+{
+  public:
+    void kick(unsigned n)
+    {
+        std::vector<unsigned> ready;
+        for (unsigned i = 0; i < n; ++i)
+            ready.push_back(i);
+        issued += ready.size();
+    }
+
+  private:
+    unsigned long long issued = 0;
+};
+
+} // namespace vans::nvram
+
+#endif

@@ -1,0 +1,30 @@
+#ifndef FIXTURE_NVRAM_ISSUER_HH
+#define FIXTURE_NVRAM_ISSUER_HH
+
+#include <vector>
+
+namespace vans::nvram
+{
+
+// simlint-hot
+class Issuer
+{
+  public:
+    void kick(unsigned n)
+    {
+        // Reuses the hoisted buffer's capacity: no per-event
+        // allocation once the high-water mark is reached.
+        ready.clear();
+        for (unsigned i = 0; i < n; ++i)
+            ready.push_back(i);
+        issued += ready.size();
+    }
+
+  private:
+    std::vector<unsigned> ready;
+    unsigned long long issued = 0;
+};
+
+} // namespace vans::nvram
+
+#endif

@@ -1,0 +1,17 @@
+#ifndef FIXTURE_COMMON_HELPER_HH
+#define FIXTURE_COMMON_HELPER_HH
+
+#include "nvram/device.hh"
+
+namespace vans
+{
+
+inline unsigned
+channelCount()
+{
+    return 1;
+}
+
+} // namespace vans
+
+#endif

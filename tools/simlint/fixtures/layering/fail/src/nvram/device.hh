@@ -1,0 +1,14 @@
+#ifndef FIXTURE_NVRAM_DEVICE_HH
+#define FIXTURE_NVRAM_DEVICE_HH
+
+namespace vans::nvram
+{
+
+struct Device
+{
+    unsigned channels = 1;
+};
+
+} // namespace vans::nvram
+
+#endif

@@ -1,0 +1,11 @@
+#ifndef FIXTURE_COMMON_TYPES_HH
+#define FIXTURE_COMMON_TYPES_HH
+
+namespace vans
+{
+
+using Tick = unsigned long long;
+
+} // namespace vans
+
+#endif

@@ -1,0 +1,16 @@
+#ifndef FIXTURE_DRAM_BUFFER_HH
+#define FIXTURE_DRAM_BUFFER_HH
+
+#include "common/types.hh"
+
+namespace vans::dram
+{
+
+struct Buffer
+{
+    Tick readyAt = 0;
+};
+
+} // namespace vans::dram
+
+#endif

@@ -1,0 +1,20 @@
+#ifndef FIXTURE_NVRAM_DEVICE_HH
+#define FIXTURE_NVRAM_DEVICE_HH
+
+// Downward to common and the sanctioned nvram -> dram lateral edge
+// (the AIT buffer is on-DIMM DRAM).
+#include "common/types.hh"
+#include "dram/buffer.hh"
+
+namespace vans::nvram
+{
+
+struct Device
+{
+    Tick nextFree = 0;
+    dram::Buffer ait;
+};
+
+} // namespace vans::nvram
+
+#endif

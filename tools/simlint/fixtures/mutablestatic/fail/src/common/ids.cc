@@ -1,0 +1,11 @@
+namespace vans
+{
+
+unsigned long long
+nextWorldId()
+{
+    static unsigned long long counter = 0;
+    return ++counter;
+}
+
+} // namespace vans

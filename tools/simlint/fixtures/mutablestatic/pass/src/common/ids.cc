@@ -1,0 +1,11 @@
+namespace vans
+{
+
+unsigned long long
+worldIdLimit()
+{
+    static const unsigned long long limit = 1u << 20;
+    return limit;
+}
+
+} // namespace vans

@@ -1,0 +1,17 @@
+#ifndef FIXTURE_NVRAM_ARBITER_HH
+#define FIXTURE_NVRAM_ARBITER_HH
+
+#include <mutex>
+
+namespace vans::nvram
+{
+
+class Arbiter
+{
+  private:
+    std::mutex grantLock;
+};
+
+} // namespace vans::nvram
+
+#endif

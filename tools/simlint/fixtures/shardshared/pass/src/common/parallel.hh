@@ -1,0 +1,19 @@
+#ifndef FIXTURE_COMMON_PARALLEL_HH
+#define FIXTURE_COMMON_PARALLEL_HH
+
+#include <mutex>
+
+namespace vans
+{
+
+// parallel.hh is part of the concurrency layer (the rule's owner
+// file list), so threading primitives are legal here.
+class Gate
+{
+  private:
+    std::mutex m;
+};
+
+} // namespace vans
+
+#endif

@@ -1,0 +1,28 @@
+#ifndef FIXTURE_NVRAM_COUNTER_HH
+#define FIXTURE_NVRAM_COUNTER_HH
+
+namespace vans::nvram
+{
+
+class Counter
+{
+  public:
+    void snapshotTo(snapshot::StateSink &sink) const
+    {
+        sink.u64(ticks);
+        sink.u64(events);
+    }
+
+    void restoreFrom(snapshot::StateSource &src)
+    {
+        ticks = src.u64();
+    }
+
+  private:
+    unsigned long long ticks = 0;
+    unsigned long long events = 0;
+};
+
+} // namespace vans::nvram
+
+#endif

@@ -1,0 +1,15 @@
+#ifndef FIXTURE_DRAM_TALLY_HH
+#define FIXTURE_DRAM_TALLY_HH
+
+namespace vans::dram
+{
+
+class Tally
+{
+  private:
+    StatScalar rowHits;
+};
+
+} // namespace vans::dram
+
+#endif

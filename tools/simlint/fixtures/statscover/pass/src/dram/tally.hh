@@ -1,0 +1,21 @@
+#ifndef FIXTURE_DRAM_TALLY_HH
+#define FIXTURE_DRAM_TALLY_HH
+
+namespace vans::dram
+{
+
+class Tally
+{
+  public:
+    void statsInto(StatGroup &stats) const
+    {
+        stats.scalar("row_hits").set(rowHits.value());
+    }
+
+  private:
+    StatScalar rowHits;
+};
+
+} // namespace vans::dram
+
+#endif

@@ -1,0 +1,15 @@
+#ifndef FIXTURE_DRAM_PROBE_HH
+#define FIXTURE_DRAM_PROBE_HH
+
+namespace vans::dram
+{
+
+class Probe
+{
+  private:
+    obs::TraceRecorder recorder;
+};
+
+} // namespace vans::dram
+
+#endif

@@ -1,0 +1,17 @@
+#ifndef FIXTURE_DRAM_PROBE_HH
+#define FIXTURE_DRAM_PROBE_HH
+
+namespace vans::dram
+{
+
+class Probe
+{
+  private:
+    // Raw pointer cached at attach time: the disabled path is one
+    // nullptr branch, and ownership stays with the system facade.
+    obs::TraceRecorder *recorder = nullptr;
+};
+
+} // namespace vans::dram
+
+#endif

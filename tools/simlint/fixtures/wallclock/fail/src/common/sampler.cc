@@ -1,0 +1,14 @@
+#include <sys/time.h>
+
+namespace vans
+{
+
+unsigned long long
+sampleNow()
+{
+    timeval tv;
+    gettimeofday(&tv, nullptr);
+    return static_cast<unsigned long long>(tv.tv_sec);
+}
+
+} // namespace vans

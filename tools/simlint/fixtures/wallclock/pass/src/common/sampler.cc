@@ -1,0 +1,12 @@
+namespace vans
+{
+
+// Simulated time is an input: the EventQueue clock is the only
+// source of "now" a model component may observe.
+unsigned long long
+sampleNow(unsigned long long event_queue_tick)
+{
+    return event_queue_tick;
+}
+
+} // namespace vans

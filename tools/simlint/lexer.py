@@ -1,0 +1,202 @@
+"""Lexical pass: comment/string stripping plus annotation capture.
+
+The declaration model and every rule operate on *code lines*: the
+source with comments and string/char literal contents replaced by
+spaces (so a member name inside a log string never counts as a
+reference) and preprocessor directives blanked (macro bodies contain
+braces that would desynchronize the block parser).
+
+Comments are not discarded: they carry the annotation grammar --
+
+    simlint-allow(rule: reason)   suppress `rule` here; reason required
+    simlint-allow(r1, r2: reason) suppress several rules
+    simlint-allow: reason         suppress any rule on this line (legacy)
+    simlint-transient(reason)     member is deliberately not snapshotted
+    simlint-hot                   class/function is on the event hot path
+
+An annotation on a line with code applies to that line (and, for
+declaration rules, to the declaration spanning it). An annotation on
+a pure comment line applies to the next code line. A malformed
+annotation (missing reason) is itself a finding (rule `annotation`).
+"""
+
+from __future__ import annotations
+
+import re
+
+
+class Annotation:
+    """One parsed simlint-* annotation."""
+
+    __slots__ = ("kind", "rules", "reason", "line", "target_line",
+                 "error")
+
+    def __init__(self, kind, rules, reason, line, error=None):
+        self.kind = kind          # "allow" | "transient" | "hot"
+        self.rules = rules        # frozenset of rule names, or None=any
+        self.reason = reason      # str or None
+        self.line = line          # 1-based line of the comment
+        self.target_line = line   # code line it applies to (fixed up)
+        self.error = error        # message when malformed
+
+    def covers(self, rule):
+        return self.kind == "allow" and (self.rules is None
+                                         or rule in self.rules)
+
+
+ANNOT_RE = re.compile(
+    r"simlint-(?P<kind>allow|transient|hot)\b"
+    r"(?:\s*\((?P<args>(?:[^()]|\([^()]*\))*)\))?"
+    r"(?P<colon>\s*:)?\s*(?P<tail>[^*]*)")
+
+
+def _parse_annotation(kind, args, colon, tail, line):
+    if kind == "hot":
+        return Annotation("hot", None, None, line)
+    if kind == "transient":
+        reason = (args or "").strip()
+        if not reason:
+            return Annotation("transient", None, None, line,
+                              error="simlint-transient needs a reason: "
+                                    "simlint-transient(why this member "
+                                    "is deliberately not snapshotted)")
+        return Annotation("transient", None, reason, line)
+    # allow
+    if args:
+        if ":" in args:
+            rules_part, reason = args.split(":", 1)
+            rules = frozenset(
+                r.strip() for r in rules_part.split(",") if r.strip())
+            reason = reason.strip()
+            if rules and reason:
+                return Annotation("allow", rules, reason, line)
+        return Annotation(
+            "allow", None, None, line,
+            error="simlint-allow needs '(rule: reason)' -- got "
+                  f"'({args})'")
+    if colon and tail.strip():
+        return Annotation("allow", None, tail.strip(), line)
+    return Annotation(
+        "allow", None, None, line,
+        error="simlint-allow without a reason: write "
+              "simlint-allow(rule: reason)")
+
+
+def scan(text):
+    """Split ``text`` into code and annotations.
+
+    Returns (code_lines, annotations): code_lines is a list of strings
+    (1-based access via index+1) with comments, literal contents and
+    preprocessor directives blanked; annotations is a list of
+    Annotation with target_line resolved to the code line each one
+    governs.
+    """
+    raw_lines = text.splitlines()
+    code_lines = []
+    comment_by_line = {}
+
+    in_block = False
+    in_pp = False  # inside a \-continued preprocessor directive
+    for lineno, raw in enumerate(raw_lines, 1):
+        code = []
+        comment = []
+        i = 0
+        n = len(raw)
+        if in_pp or (not in_block and raw.lstrip().startswith("#")):
+            in_pp = raw.rstrip().endswith("\\")
+            code_lines.append("")
+            continue
+        while i < n:
+            c = raw[i]
+            if in_block:
+                end = raw.find("*/", i)
+                if end < 0:
+                    comment.append(raw[i:])
+                    i = n
+                else:
+                    comment.append(raw[i:end])
+                    code.append(" " * (end + 2 - i))
+                    i = end + 2
+                    in_block = False
+                continue
+            if raw.startswith("//", i):
+                comment.append(raw[i + 2:])
+                i = n
+                continue
+            if raw.startswith("/*", i):
+                in_block = True
+                i += 2
+                continue
+            if c in "\"'":
+                quote = c
+                code.append(quote)
+                i += 1
+                while i < n:
+                    if raw[i] == "\\":
+                        code.append("  ")
+                        i += 2
+                        continue
+                    if raw[i] == quote:
+                        code.append(quote)
+                        i += 1
+                        break
+                    code.append(" ")
+                    i += 1
+                continue
+            code.append(c)
+            i += 1
+        code_lines.append("".join(code).rstrip())
+        if comment:
+            comment_by_line[lineno] = " ".join(comment)
+
+    # Group runs of consecutive *pure* comment lines into one block
+    # so an annotation (and its reason) may wrap across lines. A
+    # trailing comment on a code line is always its own block.
+    blocks = []  # (first_line, [line numbers], joined text)
+    run = []
+    for lineno in sorted(comment_by_line):
+        pure = not code_lines[lineno - 1].strip()
+        if pure and run and run[-1] == lineno - 1 \
+                and not code_lines[run[-1] - 1].strip():
+            run.append(lineno)
+        else:
+            if run:
+                blocks.append(run)
+            run = [lineno]
+    if run:
+        blocks.append(run)
+
+    annotations = []
+    for run in blocks:
+        joined = "\n".join(comment_by_line[ln] for ln in run)
+        for m in ANNOT_RE.finditer(joined):
+            at = run[joined.count("\n", 0, m.start())]
+            annotations.append(_parse_annotation(
+                m.group("kind"), m.group("args"),
+                m.group("colon"), m.group("tail"), at))
+
+    # Resolve targets: a pure-comment line's annotation governs the
+    # next line that has code.
+    def has_code(ln):
+        return (1 <= ln <= len(code_lines)
+                and bool(code_lines[ln - 1].strip()))
+
+    for a in annotations:
+        t = a.line
+        while t <= len(code_lines) and not has_code(t):
+            t += 1
+        a.target_line = t
+    return code_lines, annotations
+
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+
+def includes(text):
+    """(line, path) for every quoted #include in ``text``."""
+    out = []
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        m = INCLUDE_RE.match(raw)
+        if m:
+            out.append((lineno, m.group(1)))
+    return out

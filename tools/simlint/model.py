@@ -1,0 +1,370 @@
+"""Declaration model: classes, members, method bodies, includes.
+
+This is not a C++ parser; it is a brace-structure scanner tuned to the
+style this repo enforces with clang-format and -Werror: one
+declaration per statement, no macros that open braces outside
+preprocessor lines (those are blanked by the lexer), namespaces and
+classes opened with the brace on the same or following line.
+Everything a rule consumes is plain data, so parsed files can cross a
+multiprocessing boundary for --jobs.
+"""
+
+from __future__ import annotations
+
+import re
+
+from . import lexer
+
+RECORD_RE = re.compile(
+    r"\b(class|struct)\s+"
+    r"(?:alignas\s*\([^)]*\)\s*)?"
+    r"(?:[A-Z][A-Z0-9]*_[A-Z0-9_]*\s*(?:\([^)]*\)\s*)?)?"  # attr macro
+    r"(?P<name>[A-Za-z_]\w*)\s*"
+    r"(?:final\s*)?(?::[^;{]*)?$")
+
+NAMESPACE_RE = re.compile(r"^\s*(inline\s+)?namespace\b")
+
+METHOD_NAME_RE = re.compile(
+    r"(?P<quals>(?:[A-Za-z_]\w*\s*(?:<[^<>]*>)?\s*::\s*)*)"
+    r"(?P<name>~?[A-Za-z_]\w*|operator\s*[^\s(]+)\s*\($")
+
+ACCESS_RE = re.compile(r"^(?:\s*(?:public|private|protected)\s*:)+")
+
+SKIP_STMT_RE = re.compile(
+    r"^\s*(using\b|typedef\b|friend\b|template\b|static_assert\b|"
+    r"enum\b|VANS_\w+\s*\(|[A-Z][A-Z0-9_]*\s*\(.*\)\s*$)")
+
+FWD_DECL_RE = re.compile(r"^\s*(class|struct)\s+[A-Za-z_]\w*\s*$")
+
+
+class Member:
+    __slots__ = ("name", "decl", "line", "end_line", "is_static",
+                 "is_ref", "is_ptr")
+
+    def __init__(self, name, decl, line, end_line, is_static,
+                 is_ref, is_ptr):
+        self.name = name
+        self.decl = decl          # full declaration text
+        self.line = line
+        self.end_line = end_line
+        self.is_static = is_static
+        self.is_ref = is_ref
+        self.is_ptr = is_ptr
+
+
+class Method:
+    __slots__ = ("name", "owner", "sig", "line", "end_line",
+                 "body_lines")
+
+    def __init__(self, name, owner, sig, line, end_line, body_lines):
+        self.name = name
+        self.owner = owner        # "Imc" / "Imc::Channel" / "" (free)
+        self.sig = sig
+        self.line = line
+        self.end_line = end_line
+        # [(lineno, code)] -- None for a pure declaration.
+        self.body_lines = body_lines
+
+    def body_text(self):
+        return "\n".join(c for _, c in self.body_lines) \
+            if self.body_lines else ""
+
+
+class Record:
+    __slots__ = ("name", "path", "kind", "line", "end_line",
+                 "members", "methods", "nested")
+
+    def __init__(self, name, path, kind, line):
+        self.name = name
+        self.path = path          # "Imc" or "Imc::Channel"
+        self.kind = kind          # "class" | "struct"
+        self.line = line
+        self.end_line = line
+        self.members = []
+        self.methods = []         # inline definitions AND declarations
+        self.nested = []          # child Record paths
+
+
+class SourceFile:
+    __slots__ = ("rel", "code_lines", "annotations", "includes",
+                 "records", "free_methods")
+
+    def __init__(self, rel):
+        self.rel = rel
+        self.code_lines = []
+        self.annotations = []
+        self.includes = []
+        self.records = {}         # path -> Record
+        self.free_methods = []    # out-of-line definitions
+
+
+def _split_declarators(text):
+    """Split a member statement on top-level commas."""
+    parts = []
+    depth = 0
+    cur = []
+    for c in text:
+        if c in "<([":
+            depth += 1
+        elif c in ">)]":
+            depth = max(0, depth - 1)
+        if c == "," and depth == 0:
+            parts.append("".join(cur))
+            cur = []
+        else:
+            cur.append(c)
+    parts.append("".join(cur))
+    return parts
+
+
+def _member_names(stmt):
+    """[(name, is_ref, is_ptr)] declared by a member statement."""
+    # Drop everything after the first top-level '=' (initializer)
+    # and any trailing brace-init.
+    depth = 0
+    cut = len(stmt)
+    for i, c in enumerate(stmt):
+        if c in "<([{":
+            depth += 1
+        elif c in ">)]}":
+            depth -= 1
+        elif c == "=" and depth == 0:
+            cut = i
+            break
+    stmt = stmt[:cut]
+    stmt = re.sub(r"\{[^{}]*\}\s*$", "", stmt).strip()
+    if not stmt:
+        return []
+    out = []
+    for chunk in _split_declarators(stmt):
+        chunk = re.sub(r"\{[^{}]*\}\s*$", "", chunk)
+        chunk = re.sub(r"\[[^\]]*\]\s*$", "", chunk).strip()
+        m = re.search(r"([&*]\s*)?([A-Za-z_]\w*)\s*$", chunk)
+        if not m:
+            continue
+        name = m.group(2)
+        if name in ("const", "override", "final", "noexcept",
+                    "default", "delete", "struct", "class"):
+            continue
+        before = chunk[:m.start()].rstrip()
+        is_ref = bool(m.group(1) and "&" in m.group(1)) or \
+            before.endswith("&")
+        is_ptr = bool(m.group(1) and "*" in m.group(1)) or \
+            before.endswith("*")
+        out.append((name, is_ref, is_ptr))
+    return out
+
+
+class _Ctx:
+    __slots__ = ("kind", "record", "method")
+
+    def __init__(self, kind, record=None, method=None):
+        self.kind = kind     # namespace|record|function|block|init
+        self.record = record
+        self.method = method  # set on the "function" ctx only
+
+
+class Parser:
+    def __init__(self, rel, text):
+        self.rel = rel
+        self.sf = SourceFile(rel)
+        self.sf.code_lines, self.sf.annotations = lexer.scan(text)
+        self.sf.includes = lexer.includes(text)
+        self.stack = []           # list[_Ctx]
+        self.buf = []             # [(lineno, fragment)]
+        self.record_stack = []    # list[Record]
+        self.func_stack = []      # list[Method] currently being read
+
+    # -- statement buffer helpers ---------------------------------
+
+    def _buf_text(self):
+        return re.sub(r"\s+", " ",
+                      " ".join(f for _, f in self.buf)).strip()
+
+    def _buf_start(self):
+        # First buffered line with content other than an access
+        # label, so `private:` on its own line does not become the
+        # declaration line of whatever follows it.
+        for ln, frag in self.buf:
+            if ACCESS_RE.sub("", frag).strip():
+                return ln
+        return self.buf[0][0] if self.buf else 1
+
+    # -- structural events ----------------------------------------
+
+    def _cur(self):
+        return self.stack[-1] if self.stack else None
+
+    def _in_function(self):
+        return bool(self.func_stack)
+
+    def _body_append(self, lineno, fragment):
+        self.func_stack[-1].body_lines.append((lineno, fragment))
+
+    def _record_path(self):
+        return "::".join(r.name for r in self.record_stack)
+
+    def _open_brace(self, lineno):
+        if self._in_function():
+            self.stack.append(_Ctx("block"))
+            return
+        cur = self._cur()
+        if cur and cur.kind == "init":
+            self.stack.append(_Ctx("init"))
+            self.buf.append((lineno, "{"))
+            return
+        stmt = ACCESS_RE.sub("", self._buf_text()).strip()
+        start = self._buf_start()
+        m = RECORD_RE.search(stmt)
+        if m and ";" not in stmt and "enum" not in stmt.split():
+            name = m.group("name")
+            parent = self.record_stack[-1] if self.record_stack \
+                else None
+            path = (parent.path + "::" + name) if parent else name
+            rec = Record(name, path, m.group(1), start)
+            self.sf.records[path] = rec
+            if parent:
+                parent.nested.append(path)
+            self.record_stack.append(rec)
+            self.stack.append(_Ctx("record", record=rec))
+            self.buf = []
+            return
+        if NAMESPACE_RE.match(stmt) or stmt.startswith("extern"):
+            self.stack.append(_Ctx("namespace"))
+            self.buf = []
+            return
+        if "(" in stmt:
+            meth = self._make_method(stmt, start, body=True)
+            self.stack.append(_Ctx("function", method=meth))
+            self.func_stack.append(meth)
+            self.buf = []
+            return
+        if cur and cur.kind == "record" and stmt:
+            # Member brace-or-equal initializer: keep accumulating.
+            self.stack.append(_Ctx("init"))
+            self.buf.append((lineno, "{"))
+            return
+        self.stack.append(_Ctx("block"))
+        self.buf = []
+
+    def _close_brace(self, lineno):
+        if not self.stack:
+            self.buf = []
+            return
+        ctx = self.stack.pop()
+        if ctx.kind == "record":
+            rec = self.record_stack.pop()
+            rec.end_line = lineno
+            self.buf = []
+        elif ctx.kind == "function":
+            meth = self.func_stack.pop()
+            meth.end_line = lineno
+            self._bind_method(meth)
+            self.buf = []
+        elif ctx.kind == "init":
+            self.buf.append((lineno, "}"))
+        # plain block inside a function/namespace: nothing to close
+
+    def _semicolon(self, lineno):
+        cur = self._cur()
+        if cur and cur.kind == "block":
+            return
+        stmt = ACCESS_RE.sub("", self._buf_text()).strip()
+        start = self._buf_start()
+        self.buf = []
+        if not stmt:
+            return
+        if cur and cur.kind == "record":
+            self._record_statement(cur.record, stmt, start, lineno)
+
+    # -- declarations ---------------------------------------------
+
+    def _make_method(self, stmt, start, body):
+        # Signature is everything up to the first top-level '('.
+        depth = 0
+        paren = stmt.find("(")
+        for i, c in enumerate(stmt):
+            if c == "<":
+                depth += 1
+            elif c == ">":
+                depth = max(0, depth - 1)
+            elif c == "(" and depth == 0:
+                paren = i
+                break
+        prefix = stmt[:paren + 1]
+        m = METHOD_NAME_RE.search(prefix)
+        if m:
+            name = re.sub(r"\s+", "", m.group("name"))
+            quals = re.sub(r"\s+|<[^<>]*>", "", m.group("quals"))
+            owner = quals.rstrip(":")
+        else:
+            name = "<unparsed>"
+            owner = ""
+        if not owner:
+            owner = self._record_path()
+        return Method(name, owner, stmt, start, start,
+                      [] if body else None)
+
+    def _bind_method(self, meth):
+        rec = self.record_stack[-1] if self.record_stack else None
+        if rec is not None and meth.owner == rec.path:
+            rec.methods.append(meth)
+        else:
+            self.sf.free_methods.append(meth)
+
+    def _record_statement(self, rec, stmt, start, end):
+        if SKIP_STMT_RE.match(stmt) or FWD_DECL_RE.match(stmt):
+            return
+        if "(" in stmt:
+            meth = self._make_method(stmt, start, body=False)
+            meth.end_line = end
+            rec.methods.append(meth)
+            return
+        is_static = bool(
+            re.match(r"^\s*(static|constexpr)\b", stmt))
+        for name, is_ref, is_ptr in _member_names(stmt):
+            rec.members.append(Member(name, stmt, start, end,
+                                      is_static, is_ref, is_ptr))
+
+    # -- main loop ------------------------------------------------
+
+    def parse(self):
+        for lineno, code in enumerate(self.sf.code_lines, 1):
+            seg_start = 0
+            for i, c in enumerate(code):
+                if c == "{":
+                    frag = code[seg_start:i]
+                    if self._in_function():
+                        self._body_append(lineno, frag)
+                    else:
+                        self.buf.append((lineno, frag))
+                    self._open_brace(lineno)
+                    seg_start = i + 1
+                elif c == "}":
+                    frag = code[seg_start:i]
+                    if self._in_function():
+                        self._body_append(lineno, frag)
+                    else:
+                        self.buf.append((lineno, frag))
+                    self._close_brace(lineno)
+                    seg_start = i + 1
+                elif c == ";" and not self._in_function():
+                    self.buf.append((lineno, code[seg_start:i]))
+                    self._semicolon(lineno)
+                    seg_start = i + 1
+            tail = code[seg_start:]
+            if self._in_function():
+                self._body_append(lineno, tail)
+            elif tail.strip():
+                self.buf.append((lineno, tail))
+        return self.sf
+
+
+def parse_file(path, rel):
+    """Parse one source file; IO errors yield an empty SourceFile."""
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError:
+        return SourceFile(rel)
+    return Parser(rel, text).parse()

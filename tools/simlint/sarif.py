@@ -1,0 +1,66 @@
+"""SARIF 2.1.0 output for GitHub code scanning."""
+
+from __future__ import annotations
+
+import json
+
+from . import __version__
+from .rules import ALL_RULES
+
+SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+          "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def to_sarif(findings):
+    """Findings as a SARIF log dict (one run, one result each)."""
+    rules = [
+        {
+            "id": name,
+            "shortDescription": {"text": desc},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for name, (_, desc) in sorted(ALL_RULES.items())
+    ]
+    results = [
+        {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": f.file.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": max(1, f.line)},
+                },
+            }],
+        }
+        for f in findings
+    ]
+    return {
+        "$schema": SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "simlint",
+                    "version": __version__,
+                    "informationUri":
+                        "tools/simlint/README -- see DESIGN.md "
+                        "'Static analysis'",
+                    "rules": rules,
+                },
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"uri": "file:///"},
+            },
+            "results": results,
+        }],
+    }
+
+
+def write_sarif(path, findings):
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(to_sarif(findings), f, indent=2, sort_keys=True)
+        f.write("\n")

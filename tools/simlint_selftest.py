@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Fixture self-test for the simlint rule suite.
+
+For every rule in the catalog (tools/simlint/fixtures/<rule>/):
+
+  1. the fail/ tree yields exactly ONE finding, of that rule;
+  2. the fail/ tree yields NOTHING with the rule disabled -- the
+     finding is attributed to the rule under test, not a bystander;
+  3. the pass/ tree is clean under the FULL suite.
+
+Then one end-to-end pass through the CLI: exit codes, SARIF output
+that survives json parsing, and a baseline write/apply round-trip.
+Python >= 3.8, stdlib only. Exit 0 on success, 1 on any failure.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+TOOLS = Path(__file__).resolve().parent
+sys.path.insert(0, str(TOOLS))
+
+from simlint import model, rules  # noqa: E402
+
+FIXTURES = TOOLS / "simlint" / "fixtures"
+LAUNCHER = TOOLS / "simlint.py"
+
+
+def scan(root, rule_names=None):
+    """Findings for the fixture tree at ``root``."""
+    pairs = sorted(
+        (str(p), str(p.relative_to(root)).replace("\\", "/"))
+        for g in ("*.cc", "*.hh") for p in (root / "src").rglob(g))
+    files = [model.parse_file(p, rel) for p, rel in pairs]
+    return rules.run_rules(files, rule_names)
+
+
+def fmt(findings):
+    return "; ".join("%s:%d [%s] %s" % (f.file, f.line, f.rule,
+                                        f.message[:60])
+                     for f in findings) or "<none>"
+
+
+def check_rule(rule, errors):
+    fail_dir = FIXTURES / rule / "fail"
+    pass_dir = FIXTURES / rule / "pass"
+    for d in (fail_dir, pass_dir):
+        if not (d / "src").is_dir():
+            errors.append("%s: missing fixture tree %s" % (rule, d))
+            return
+
+    got = scan(fail_dir, {rule})
+    if len(got) != 1 or got[0].rule != rule:
+        errors.append(
+            "%s: fail fixture expected exactly 1 %s finding, got: %s"
+            % (rule, rule, fmt(got)))
+
+    others = set(rules.ALL_RULES) - {rule}
+    leaked = scan(fail_dir, others)
+    if leaked:
+        errors.append(
+            "%s: fail fixture trips OTHER rules (attribution "
+            "broken): %s" % (rule, fmt(leaked)))
+
+    clean = scan(pass_dir)
+    if clean:
+        errors.append("%s: pass fixture not clean under the full "
+                      "suite: %s" % (rule, fmt(clean)))
+
+
+def run_cli(*args):
+    proc = subprocess.run(
+        [sys.executable, str(LAUNCHER)] + list(args),
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+    return proc.returncode, proc.stdout
+
+
+def check_cli(errors):
+    pass_root = str(FIXTURES / "layering" / "pass")
+    fail_root = str(FIXTURES / "snapshotcover" / "fail")
+
+    rc, out = run_cli("--root", pass_root)
+    if rc != 0:
+        errors.append("cli: clean tree exited %d: %s" % (rc, out))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        sarif_path = Path(tmp) / "findings.sarif"
+        rc, out = run_cli("--root", fail_root, "--rules",
+                          "snapshotcover", "--sarif",
+                          str(sarif_path))
+        if rc != 1:
+            errors.append("cli: failing tree exited %d (want 1): %s"
+                          % (rc, out))
+        try:
+            doc = json.loads(sarif_path.read_text(encoding="utf-8"))
+            results = doc["runs"][0]["results"]
+            if len(results) != 1 or \
+                    results[0]["ruleId"] != "snapshotcover":
+                errors.append("cli: SARIF results wrong: %r"
+                              % results)
+        except (OSError, KeyError, ValueError) as exc:
+            errors.append("cli: SARIF unreadable: %s" % exc)
+
+        base_path = Path(tmp) / "baseline.json"
+        rc, out = run_cli("--root", fail_root, "--write-baseline",
+                          str(base_path))
+        if rc != 0:
+            errors.append("cli: --write-baseline exited %d: %s"
+                          % (rc, out))
+        rc, out = run_cli("--root", fail_root, "--baseline",
+                          str(base_path))
+        if rc != 0:
+            errors.append("cli: baselined tree exited %d (want 0, "
+                          "debt suppressed): %s" % (rc, out))
+
+
+def main():
+    errors = []
+    for rule in sorted(rules.ALL_RULES):
+        check_rule(rule, errors)
+    check_cli(errors)
+    if errors:
+        for e in errors:
+            print("FAIL: %s" % e)
+        print("simlint_selftest: %d failure(s)" % len(errors))
+        return 1
+    print("simlint_selftest: %d rules x (fail=1, attribution, "
+          "pass=0) + cli end-to-end: OK" % len(rules.ALL_RULES))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
