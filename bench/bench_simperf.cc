@@ -11,6 +11,7 @@
 #include "baselines/dram_system.hh"
 #include "common/event_queue.hh"
 #include "common/logging.hh"
+#include "common/request_pool.hh"
 #include "common/rng.hh"
 #include "common/sharded_kernel.hh"
 #include "common/snapshot.hh"
@@ -40,6 +41,33 @@ BM_EventQueue(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EventQueue);
+
+void
+BM_RequestPool(benchmark::State &state)
+{
+    setQuiet(true);
+    RequestPool pool;
+    // Steady-state churn at a fixed in-flight depth: the slab grows
+    // once during the first iteration, then every alloc is a
+    // free-list pop and every release a push. The get() in the loop
+    // keeps the generation check on the measured path.
+    constexpr unsigned depth = 64;
+    RequestHandle inflight[depth] = {};
+    for (auto _ : state) {
+        for (unsigned i = 0; i < depth; ++i) {
+            RequestHandle h = pool.alloc();
+            Request &r = pool.get(h);
+            r.addr = static_cast<Addr>(i) * cacheLineSize;
+            r.op = (i & 3) ? MemOp::Read : MemOp::Write;
+            inflight[i] = h;
+        }
+        for (unsigned i = 0; i < depth; ++i)
+            pool.release(inflight[i]);
+        benchmark::DoNotOptimize(pool.capacity());
+    }
+    state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_RequestPool);
 
 void
 BM_VansReadHit(benchmark::State &state)
@@ -72,6 +100,58 @@ BM_VansWriteStream(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * addrs.size());
 }
 BENCHMARK(BM_VansWriteStream);
+
+// ---- Fig 5-shaped end-to-end pair ----------------------------------
+//
+// The two benches below replay the pointer-chase (5a load side) and
+// store-plateau (5a store side) access shapes end to end through the
+// full VANS pipeline, sized so the whole footprint stays inside the
+// warm RMW read cache / LSQ combining window. They measure exactly
+// the steady-state path the request pool keeps allocation-free: the
+// zero-alloc regression test asserts the invariant, this pair prices
+// it.
+
+void
+BM_VansFig05LoadSweep(benchmark::State &state)
+{
+    setQuiet(true);
+    EventQueue eq;
+    nvram::VansSystem sys(eq, nvram::NvramConfig::optaneDefault());
+    lens::Driver drv(sys);
+    std::vector<Addr> lines;
+    for (Addr a = 0; a < 8 * cacheLineSize; a += cacheLineSize)
+        lines.push_back(a);
+    for (Addr a : lines)
+        drv.read(a); // Warm the RMW read cache.
+    for (auto _ : state) {
+        for (Addr a : lines)
+            benchmark::DoNotOptimize(drv.read(a));
+        benchmark::DoNotOptimize(drv.streamReads(lines, 8));
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * lines.size());
+}
+BENCHMARK(BM_VansFig05LoadSweep);
+
+void
+BM_VansFig05StoreSweep(benchmark::State &state)
+{
+    setQuiet(true);
+    EventQueue eq;
+    nvram::VansSystem sys(eq, nvram::NvramConfig::optaneDefault());
+    lens::Driver drv(sys);
+    std::vector<Addr> lines;
+    for (Addr a = 0; a < 8 * cacheLineSize; a += cacheLineSize)
+        lines.push_back(a);
+    for (auto _ : state) {
+        // Merging rewrites of the same 8 lines plus a draining
+        // fence: the LSQ combining plateau of Fig 5a.
+        for (Addr a : lines)
+            drv.write(a);
+        benchmark::DoNotOptimize(drv.fence());
+    }
+    state.SetItemsProcessed(state.iterations() * lines.size());
+}
+BENCHMARK(BM_VansFig05StoreSweep);
 
 void
 BM_DramRandomRead(benchmark::State &state)

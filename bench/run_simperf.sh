@@ -41,3 +41,47 @@ if cold and fork:
     print(f"sweep wall-clock: cold-per-point {cold:.2f} ms, "
           f"warm-fork {fork:.2f} ms  ({cold / fork:.2f}x)")
 EOF
+
+# When a recorded baseline exists, print an old-vs-new speedup table
+# (median aggregates, same machine assumed: absolute throughput).
+baseline="$repo_root/bench/simperf_baseline.json"
+if [ -f "$baseline" ]; then
+    python3 - "$baseline" "$out" <<'EOF' || true
+import json, sys
+
+def medians(path):
+    with open(path) as f:
+        rep = json.load(f)
+    single, agg = {}, {}
+    for b in rep.get("benchmarks", []):
+        name = b["name"]
+        if "items_per_second" in b:
+            v = float(b["items_per_second"])
+        elif b.get("real_time"):
+            v = 1.0 / float(b["real_time"])
+        else:
+            continue
+        if b.get("run_type") == "aggregate":
+            if name.endswith("_median"):
+                agg[name[: -len("_median")]] = v
+        else:
+            single[name] = v
+    single.update(agg)
+    return single
+
+old = medians(sys.argv[1])
+new = medians(sys.argv[2])
+rows = [("benchmark", "speedup vs baseline")]
+for name in sorted(set(old) | set(new)):
+    if name not in old:
+        rows.append((name, "new"))
+    elif name not in new:
+        rows.append((name, "removed"))
+    elif old[name] > 0:
+        rows.append((name, f"{new[name] / old[name]:.2f}x"))
+w = max(len(r[0]) for r in rows)
+print("\nold-vs-new (throughput, median of repetitions):")
+for name, v in rows:
+    print(f"  {name.ljust(w)}  {v}")
+EOF
+fi

@@ -34,39 +34,40 @@ DramMainMemory::ddr3Params(std::uint64_t capacity)
 }
 
 void
-DramMainMemory::issue(RequestPtr req)
+DramMainMemory::issue(RequestHandle h)
 {
-    req->id = nextRequestId();
-    req->issueTick = eventq.curTick();
-    switch (req->op) {
+    Request &req = reqPool.get(h);
+    req.id = nextRequestId();
+    req.issueTick = eventq.curTick();
+    switch (req.op) {
       case MemOp::Read:
       case MemOp::ReadNT:
         statGroup.scalar("reads").inc();
         if (readsInFlight >= p.maxReads) {
-            readWaiting.push_back(req);
+            readWaiting.push_back(h);
             return;
         }
-        startRead(req);
+        startRead(h);
         break;
       case MemOp::Write:
       case MemOp::WriteNT:
       case MemOp::Clwb:
         statGroup.scalar("writes").inc();
         if (writesInFlight >= p.maxWrites) {
-            writeWaiting.push_back(req);
+            writeWaiting.push_back(h);
             return;
         }
-        startWrite(req);
+        startWrite(h);
         break;
       case MemOp::Fence:
-        pendingFences.push_back(req);
+        pendingFences.push_back(h);
         checkFences();
         break;
     }
 }
 
 void
-DramMainMemory::startRead(RequestPtr req)
+DramMainMemory::startRead(RequestHandle h)
 {
     ++readsInFlight;
     Tick now = eventq.curTick();
@@ -77,14 +78,17 @@ DramMainMemory::startRead(RequestPtr req)
     if (p.minReadSpacingNs > 0)
         nextReadSlot = start + nsToTicks(p.minReadSpacingNs);
 
-    eventq.schedule(start, [this, req] {
-        ctrl.access(req->addr, false, req->size, [this, req](Tick t) {
+    eventq.schedule(start, [this, h] {
+        Request &r = reqPool.get(h);
+        ctrl.access(r.addr, false, r.size, [this, h](Tick t) {
             Tick done = t + nsToTicks(p.frontNs);
-            eventq.schedule(done, [this, req, done] {
-                req->complete(done);
+            eventq.schedule(done, [this, h, done] {
+                // complete() may release the handle; the request is
+                // not touched after it.
+                reqPool.get(h).complete(done);
                 --readsInFlight;
                 if (!readWaiting.empty()) {
-                    RequestPtr next = readWaiting.front();
+                    RequestHandle next = readWaiting.front();
                     readWaiting.pop_front();
                     startRead(next);
                 }
@@ -94,29 +98,35 @@ DramMainMemory::startRead(RequestPtr req)
 }
 
 void
-DramMainMemory::startWrite(RequestPtr req)
+DramMainMemory::startWrite(RequestHandle h)
 {
     ++writesInFlight;
     Tick now = eventq.curTick();
     Tick front = nsToTicks(p.frontNs + p.extraWriteNs);
     bool throttle = p.minWriteSpacingNs > 0 &&
                     (!p.throttleNtWritesOnly ||
-                     req->op == MemOp::WriteNT);
+                     reqPool.get(h).op == MemOp::WriteNT);
     Tick start = now + front;
     if (throttle) {
         start = std::max(start, nextWriteSlot);
         nextWriteSlot = start + nsToTicks(p.minWriteSpacingNs);
     }
 
-    eventq.schedule(start, [this, req, start] {
+    eventq.schedule(start, [this, h, start] {
         // Posted write: the issuer unblocks at controller
-        // acceptance; the data movement continues underneath.
-        req->complete(start);
-        ctrl.access(req->addr, true, req->size, [this](Tick) {
+        // acceptance; the data movement continues underneath. The
+        // address and size are read out *before* complete() --
+        // completion hands ownership back to the issuer, who may
+        // release (and recycle) the slot immediately.
+        Request &r = reqPool.get(h);
+        Addr addr = r.addr;
+        std::uint32_t size = r.size;
+        r.complete(start);
+        ctrl.access(addr, true, size, [this](Tick) {
             --writesInFlight;
             checkFences();
             if (!writeWaiting.empty()) {
-                RequestPtr next = writeWaiting.front();
+                RequestHandle next = writeWaiting.front();
                 writeWaiting.pop_front();
                 startWrite(next);
             }
@@ -131,8 +141,8 @@ DramMainMemory::checkFences()
         return;
     if (writesInFlight == 0 && writeWaiting.empty()) {
         Tick now = eventq.curTick();
-        for (auto &f : pendingFences)
-            f->complete(now);
+        for (RequestHandle f : pendingFences)
+            reqPool.get(f).complete(now);
         pendingFences.clear();
     }
 }

@@ -67,7 +67,7 @@ class DramMainMemory : public MemorySystem
     DramMainMemory(EventQueue &eq, const DramSystemParams &params,
                    std::string name = "dram-main");
 
-    void issue(RequestPtr req) override;
+    void issue(RequestHandle h) override;
     std::string name() const override { return sysName; }
     std::uint64_t capacity() const override
     {
@@ -86,8 +86,8 @@ class DramMainMemory : public MemorySystem
                                            16ull << 30);
 
   private:
-    void startRead(RequestPtr req);
-    void startWrite(RequestPtr req);
+    void startRead(RequestHandle h);
+    void startWrite(RequestHandle h);
     void checkFences();
 
     DramSystemParams p;
@@ -96,9 +96,9 @@ class DramMainMemory : public MemorySystem
 
     unsigned readsInFlight = 0;
     unsigned writesInFlight = 0;
-    std::deque<RequestPtr> readWaiting;
-    std::deque<RequestPtr> writeWaiting;
-    std::deque<RequestPtr> pendingFences;
+    std::deque<RequestHandle> readWaiting;
+    std::deque<RequestHandle> writeWaiting;
+    std::deque<RequestHandle> pendingFences;
     Tick nextReadSlot = 0;
     Tick nextWriteSlot = 0;
 

@@ -32,11 +32,19 @@ EventQueue::acquireSlot()
         freeSlots.pop_back();
         return slot;
     }
-    if ((slabSize & (chunkSize - 1)) == 0)
+    if ((slabSize & (chunkSize - 1)) == 0) {
         // simlint-allow(hotpath: slab growth is amortized -- one
         // chunk allocation per 128 new peak-pending slots, and none
         // at all once the slab reaches the steady-state depth)
         chunks.push_back(std::make_unique<Callback[]>(chunkSize));
+        // Both the pending heap and the free list are bounded by the
+        // slot count, but vector doubling would otherwise let them
+        // reallocate lazily long after the slab stopped growing.
+        // Reserving here pins all their growth onto this amortized
+        // path, keeping schedule()/step() allocation-free.
+        heap.reserve(slabSize + chunkSize);
+        freeSlots.reserve(slabSize + chunkSize);
+    }
     return slabSize++;
 }
 

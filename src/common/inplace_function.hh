@@ -31,16 +31,16 @@
 namespace vans
 {
 
-template <typename Signature>
+template <typename Signature, std::size_t Capacity = 48>
 class InplaceFunction; // primary left undefined; see specialization
 
 /** Move-only `R(Args...)` callable with inline small-capture storage. */
-template <typename R, typename... Args>
-class InplaceFunction<R(Args...)>
+template <typename R, typename... Args, std::size_t Capacity>
+class InplaceFunction<R(Args...), Capacity>
 {
   public:
     /** Captures up to this many bytes are stored without allocating. */
-    static constexpr std::size_t inlineCapacity = 48;
+    static constexpr std::size_t inlineCapacity = Capacity;
 
     InplaceFunction() noexcept = default;
     InplaceFunction(std::nullptr_t) noexcept {} // NOLINT: implicit
@@ -183,8 +183,18 @@ class InplaceFunction<R(Args...)>
     const Ops *ops = nullptr;
 };
 
-/** The event kernel's callback type. */
-using InplaceCallback = InplaceFunction<void()>;
+/**
+ * The event kernel's callback type. Its inline buffer is sized so a
+ * wrapper capturing one 48-byte-capacity DoneCallback (64 bytes with
+ * its vtable pointer) plus a this-pointer, an address and a couple of
+ * scalars still fits: every pipeline hop that re-schedules a
+ * completion callback stays allocation-free (the zero-alloc
+ * regression test pins this). Kept as tight as that worst inline
+ * capture -- every byte here is paid by every cell of the event
+ * kernel's callback slab, and 88 is the most that still packs into
+ * the same 96-byte object under max_align_t padding.
+ */
+using InplaceCallback = InplaceFunction<void(), 88>;
 
 } // namespace vans
 

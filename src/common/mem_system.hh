@@ -20,6 +20,7 @@
 #include "common/check.hh"
 #include "common/event_queue.hh"
 #include "common/request.hh"
+#include "common/request_pool.hh"
 
 namespace vans::snapshot
 {
@@ -52,11 +53,33 @@ class MemorySystem
     MemorySystem &operator=(const MemorySystem &) = delete;
 
     /**
-     * Issue a request. The system always accepts it (front-end
-     * admission is unbounded); all contention and queueing shows up
-     * in the completion time delivered through req->onComplete.
+     * Issue a request previously obtained from makeRequest(). The
+     * system always accepts it (front-end admission is unbounded);
+     * all contention and queueing shows up in the completion time
+     * delivered through the request's onComplete. Ownership returns
+     * to the issuer when that callback fires; the issuer releases
+     * the handle (inside or after the callback), never the model.
      */
-    virtual void issue(RequestPtr req) = 0;
+    virtual void issue(RequestHandle h) = 0;
+
+    /** The pool every request of this system lives in. */
+    RequestPool &pool() { return reqPool; }
+
+    /** Allocate and fill a request descriptor in this system's pool. */
+    RequestHandle
+    makeRequest(Addr addr, MemOp op,
+                std::uint32_t size = cacheLineSize)
+    {
+        RequestHandle h = reqPool.alloc();
+        Request &r = reqPool.get(h);
+        r.addr = addr;
+        r.op = op;
+        r.size = size;
+        return h;
+    }
+
+    /** Dereference a handle of this system's pool. */
+    Request &request(RequestHandle h) { return reqPool.get(h); }
 
     /** Short model name used in reports. */
     virtual std::string name() const = 0;
@@ -131,6 +154,13 @@ class MemorySystem
 
   protected:
     EventQueue &eventq;
+
+    /**
+     * Request storage for this system. Systems with snapshot support
+     * serialize it (the free-list order pins the handle sequence a
+     * restored world hands out); see VansSystem::snapshotTo.
+     */
+    RequestPool reqPool;
 
     /** Request-id counter access for snapshotTo/restoreFrom. */
     std::uint64_t lastRequestId() const { return lastId; }

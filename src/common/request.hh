@@ -1,15 +1,21 @@
 /**
  * @file
  * Memory request descriptor shared by every memory model in the tree.
+ *
+ * Requests are pool-allocated (common/request_pool.hh): components
+ * never own a Request, they hold a RequestHandle into the system's
+ * RequestPool and dereference it on demand. The descriptor itself is
+ * allocation-free -- the completion callback is an InplaceFunction
+ * (typical captures stored inline) and the trace hop log is a raw
+ * pointer into the pool's recycled per-slot ReqTrace slab.
  */
 
 #ifndef VANS_COMMON_REQUEST_HH
 #define VANS_COMMON_REQUEST_HH
 
 #include <cstdint>
-#include <functional>
-#include <memory>
 
+#include "common/inplace_function.hh"
 #include "common/types.hh"
 
 namespace vans::obs
@@ -50,7 +56,9 @@ isWrite(MemOp op)
 const char *memOpName(MemOp op);
 
 struct Request;
-using RequestPtr = std::shared_ptr<Request>;
+
+/** Completion callback type (move-only, small captures inline). */
+using RequestCallback = InplaceFunction<void(Request &)>;
 
 /**
  * One memory request. A request semantically completes when:
@@ -59,6 +67,12 @@ using RequestPtr = std::shared_ptr<Request>;
  *    (accepted into the iMC write pending queue);
  *  - fences: all prior writes from this issuer are in the ADR domain
  *    and on-DIMM combining state is flushed.
+ *
+ * Ownership protocol: the issuer allocates a handle from the pool,
+ * fills the descriptor in, and issues; ownership returns to the
+ * issuer when onComplete fires. Only the issuer releases the handle
+ * (inside or after its completion callback), and no component may
+ * touch a request after calling complete() on it.
  */
 struct Request
 {
@@ -79,14 +93,14 @@ struct Request
 
     /**
      * Lifecycle hop recording (common/trace_event.hh). Null unless
-     * the servicing system runs with tracing enabled; allocated by
-     * TraceRecorder::onIssue, never by the request itself, so the
-     * untraced path stays allocation-free.
+     * the servicing system runs with tracing enabled; points into the
+     * pool's per-slot ReqTrace slab (attached at issue, recycled with
+     * the slot), so the untraced path stays allocation-free.
      */
-    std::shared_ptr<obs::ReqTrace> trace;
+    obs::ReqTrace *trace = nullptr;
 
     /** Completion callback; may be empty. */
-    std::function<void(Request &)> onComplete;
+    RequestCallback onComplete;
 
     /** Fire the completion callback exactly once. */
     void
@@ -96,6 +110,8 @@ struct Request
         if (onComplete) {
             auto cb = std::move(onComplete);
             onComplete = nullptr;
+            // The callback may release this request back to its pool:
+            // nothing below may touch *this after cb returns.
             cb(*this);
         }
     }
@@ -103,17 +119,6 @@ struct Request
     /** Latency from issue to completion in ticks. */
     Tick latency() const { return completeTick - issueTick; }
 };
-
-/** Convenience factory. */
-inline RequestPtr
-makeRequest(Addr addr, MemOp op, std::uint32_t size = cacheLineSize)
-{
-    auto r = std::make_shared<Request>();
-    r->addr = addr;
-    r->op = op;
-    r->size = size;
-    return r;
-}
 
 } // namespace vans
 

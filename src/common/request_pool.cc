@@ -1,0 +1,174 @@
+#include "common/request_pool.hh"
+
+#include "common/snapshot.hh"
+#include "common/stats.hh"
+#include "common/trace_event.hh"
+
+namespace vans
+{
+
+// Out of line so the unique_ptr<ReqTrace[]> deleter instantiates with
+// the complete type.
+RequestPool::RequestPool() = default;
+RequestPool::~RequestPool() = default;
+
+void
+RequestPool::growChunk()
+{
+    // simlint-allow(hotpath: slab growth is amortized -- it happens
+    // only when the in-flight depth exceeds every previous peak, and
+    // steady state never reaches this branch)
+    chunks.push_back(std::make_unique<Cell[]>(chunkSize));
+    std::uint32_t base = slabSize;
+    slabSize += chunkSize;
+    // Push in reverse so the lowest slot pops first: fresh worlds
+    // hand out slot 0, 1, 2, ... which keeps handle values (and the
+    // recycle order after a burst) easy to reason about in tests.
+    for (std::uint32_t i = chunkSize; i-- > 0;)
+        freeSlots.push_back(base + i);
+    ++numGrowths;
+}
+
+RequestHandle
+RequestPool::alloc()
+{
+    if (freeSlots.empty())
+        growChunk();
+    else
+        ++numRecycles;
+    std::uint32_t slot = freeSlots.back();
+    freeSlots.pop_back();
+
+    Cell &c = cell(slot);
+    c.liveFlag = true;
+    Request &r = c.req;
+    r.id = 0;
+    r.addr = 0;
+    r.size = cacheLineSize;
+    r.op = MemOp::Read;
+    r.issueTick = 0;
+    r.completeTick = 0;
+    r.preTranslate = false;
+    r.trace = nullptr;
+    r.onComplete = nullptr;
+
+    ++numAllocs;
+    ++numLive;
+    if (numLive > maxLive)
+        maxLive = numLive;
+    return RequestHandle::make(slot, c.gen);
+}
+
+void
+RequestPool::release(RequestHandle h)
+{
+    Cell &c = checkedCell(h);
+    // Drop any unfired callback now so captured state (pool pointers,
+    // completion flags) does not linger in a dead slot.
+    c.req.onComplete = nullptr;
+    c.req.trace = nullptr;
+    c.liveFlag = false;
+    if (++c.gen == 0)
+        c.gen = 1; // Generation 0 is reserved for the null handle.
+    freeSlots.push_back(h.slot());
+    ++numReleases;
+    --numLive;
+}
+
+bool
+RequestPool::valid(RequestHandle h) const
+{
+    std::uint32_t slot = h.slot();
+    return slot < slabSize && cell(slot).liveFlag &&
+           cell(slot).gen == h.generation();
+}
+
+obs::ReqTrace &
+RequestPool::traceFor(RequestHandle h)
+{
+    Cell &c = checkedCell(h);
+    (void)c;
+    std::uint32_t ci = h.slot() >> chunkShift;
+    if (traceChunks.size() <= ci)
+        traceChunks.resize(ci + 1);
+    if (!traceChunks[ci]) {
+        // One-time lazy chunk allocation on a traced run's first
+        // touch; every recycle of the slot reuses the same ReqTrace.
+        // simlint-allow(hotpath: lazy one-time trace-slab growth)
+        traceChunks[ci] = std::make_unique<obs::ReqTrace[]>(chunkSize);
+    }
+    return traceChunks[ci][h.slot() & (chunkSize - 1)];
+}
+
+void
+RequestPool::statsInto(StatGroup &stats) const
+{
+    stats.scalar("allocs").set(numAllocs);
+    stats.scalar("releases").set(numReleases);
+    stats.scalar("recycles").set(numRecycles);
+    stats.scalar("chunk_growths").set(numGrowths);
+    stats.scalar("peak_live").set(maxLive);
+    stats.scalar("live").set(numLive);
+    stats.scalar("capacity").set(slabSize);
+}
+
+void
+RequestPool::snapshotTo(snapshot::StateSink &sink) const
+{
+    VANS_REQUIRE("reqpool", 0, numLive == 0,
+                 "snapshot of a pool with %zu live requests "
+                 "(the world is not quiescent)",
+                 numLive);
+    sink.tag("reqpool");
+    sink.u64(slabSize);
+    sink.u64(freeSlots.size());
+    for (std::uint32_t s : freeSlots)
+        sink.u64(s);
+    for (std::uint32_t s = 0; s < slabSize; ++s)
+        sink.u64(cell(s).gen);
+    sink.u64(numAllocs);
+    sink.u64(numReleases);
+    sink.u64(numRecycles);
+    sink.u64(numGrowths);
+    sink.u64(maxLive);
+}
+
+void
+RequestPool::restoreFrom(snapshot::StateSource &src)
+{
+    VANS_REQUIRE("reqpool", 0, numLive == 0,
+                 "restore into a pool with %zu live requests",
+                 numLive);
+    src.tag("reqpool");
+    std::uint64_t target = src.u64();
+    VANS_REQUIRE("reqpool", 0, target % chunkSize == 0,
+                 "snapshot slab size %llu is not chunk-aligned",
+                 static_cast<unsigned long long>(target));
+    // Grow (never shrink) to the captured capacity, then overwrite
+    // the free list with the captured recycle order so the restored
+    // world hands out the exact handle sequence the captured one
+    // would have.
+    while (slabSize < target) {
+        chunks.push_back(std::make_unique<Cell[]>(chunkSize));
+        slabSize += chunkSize;
+    }
+    freeSlots.clear();
+    std::uint64_t nfree = src.u64();
+    VANS_REQUIRE("reqpool", 0, nfree == slabSize,
+                 "free list holds %llu of %u slots at restore",
+                 static_cast<unsigned long long>(nfree), slabSize);
+    freeSlots.reserve(nfree);
+    for (std::uint64_t i = 0; i < nfree; ++i)
+        freeSlots.push_back(static_cast<std::uint32_t>(src.u64()));
+    for (std::uint32_t s = 0; s < slabSize; ++s) {
+        cell(s).gen = static_cast<std::uint32_t>(src.u64());
+        cell(s).liveFlag = false;
+    }
+    numAllocs = src.u64();
+    numReleases = src.u64();
+    numRecycles = src.u64();
+    numGrowths = src.u64();
+    maxLive = src.u64();
+}
+
+} // namespace vans

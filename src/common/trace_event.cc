@@ -156,8 +156,11 @@ TraceRecorder::flowEnd(TrackId t, LabelId l, Tick at,
 void
 TraceRecorder::onIssue(Request &r, Tick now)
 {
+    // The hop log is attached by the owning system (a recycled
+    // per-slot ReqTrace from its RequestPool); a request without one
+    // records nothing.
     if (!r.trace)
-        r.trace = std::make_shared<ReqTrace>();
+        return;
     r.trace->hops.clear();
     r.trace->hops.push_back({verify::ReqStage::Issued, now, now});
 }

@@ -32,16 +32,18 @@ CpuCore::issueRead(Addr addr, bool pre_translate)
 {
     auto pending = std::make_shared<Pending>();
     syncTo(coreTime);
-    auto req = makeRequest(addr, MemOp::Read);
-    req->preTranslate = pre_translate;
-    req->onComplete = [pending](Request &r) {
+    RequestHandle h = mem.makeRequest(addr, MemOp::Read);
+    Request &req = mem.request(h);
+    req.preTranslate = pre_translate;
+    req.onComplete = [pending, p = &mem.pool(), h](Request &r) {
         pending->done = true;
         pending->at = r.completeTick;
+        p->release(h);
     };
     if (!loadFilter || loadFilter(req))
-        mem.issue(req);
+        mem.issue(h);
     else
-        req->complete(eq.curTick()); // Absorbed by an optimization.
+        req.complete(eq.curTick()); // Absorbed by an optimization.
     return pending;
 }
 
@@ -60,13 +62,15 @@ CpuCore::issueReadAfter(const std::shared_ptr<Pending> &after,
             eq.scheduleAfter(nsToTicks(5), *watcher);
             return;
         }
-        auto req = makeRequest(addr, MemOp::Read);
-        req->preTranslate = pre_translate;
-        req->onComplete = [pending](Request &r) {
+        RequestHandle h = mem.makeRequest(addr, MemOp::Read);
+        Request &req = mem.request(h);
+        req.preTranslate = pre_translate;
+        req.onComplete = [pending, p = &mem.pool(), h](Request &r) {
             pending->done = true;
             pending->at = r.completeTick;
+            p->release(h);
         };
-        mem.issue(req);
+        mem.issue(h);
     };
     eq.scheduleAfter(nsToTicks(5), *watcher);
     return pending;
@@ -77,9 +81,12 @@ CpuCore::issueWrite(Addr addr, MemOp op)
 {
     syncTo(coreTime);
     ++storesInFlight;
-    auto req = makeRequest(addr, op);
-    req->onComplete = [this](Request &) { --storesInFlight; };
-    mem.issue(req);
+    RequestHandle h = mem.makeRequest(addr, op);
+    mem.request(h).onComplete = [this, h](Request &) {
+        --storesInFlight;
+        mem.pool().release(h);
+    };
+    mem.issue(h);
 
     // Store-buffer stall: wait for drainage when full.
     while (storesInFlight >= p.storeBuffer) {
@@ -238,14 +245,16 @@ CpuCore::run(trace::TraceSource &src, std::uint64_t max_insts)
           case trace::InstType::Fence: {
             out.instructions += 1;
             syncTo(coreTime);
-            auto fence = makeRequest(0, MemOp::Fence, 0);
+            RequestHandle h = mem.makeRequest(0, MemOp::Fence, 0);
             bool done = false;
             Tick at = 0;
-            fence->onComplete = [&done, &at](Request &r) {
-                done = true;
-                at = r.completeTick;
-            };
-            mem.issue(fence);
+            mem.request(h).onComplete =
+                [&done, &at, p = &mem.pool(), h](Request &r) {
+                    done = true;
+                    at = r.completeTick;
+                    p->release(h);
+                };
+            mem.issue(h);
             while (!done) {
                 if (!eq.step())
                     panic("queue drained during fence");

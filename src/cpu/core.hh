@@ -71,7 +71,7 @@ class CpuCore
     CoreStats run(trace::TraceSource &src, std::uint64_t max_insts);
 
     /** Hook invoked on every load issued to memory (for opt). */
-    std::function<bool(RequestPtr)> loadFilter;
+    std::function<bool(const Request &)> loadFilter;
 
     /**
      * Hook consulted before a TLB walk: return true if an external

@@ -32,6 +32,22 @@ DramController::DramController(EventQueue &eq, const DramTiming &timing,
 {
     if (verify::envEnabled())
         enableOnlineCheck();
+    cacheStatPointers();
+}
+
+void
+DramController::cacheStatPointers()
+{
+    // Touch every stat this controller ever records so the map nodes
+    // exist up front: a first-touch inside the event loop (e.g. the
+    // first refresh) would otherwise allocate mid-run.
+    for (const char *name :
+         {"row_hits", "row_conflicts", "row_misses", "cmd_act",
+          "cmd_pre", "cmd_rd", "cmd_wr", "cmd_ref", "read_accesses",
+          "write_accesses", "bytes_read", "bytes_written"})
+        statGroup.scalar(name);
+    sReadLatency = &statGroup.average("read_latency_ns");
+    sWriteLatency = &statGroup.average("write_latency_ns");
 }
 
 void
@@ -73,6 +89,33 @@ DramController::emit(const DramCommand &cmd)
         checker->feed(cmd);
 }
 
+std::uint32_t
+DramController::allocParent(unsigned remaining, DoneCallback done)
+{
+    std::uint32_t idx;
+    if (freeParents.empty()) {
+        idx = static_cast<std::uint32_t>(parents.size());
+        // simlint-allow(hotpath: slab growth is amortized -- only a
+        // new peak of in-flight accesses reaches this branch)
+        parents.emplace_back();
+    } else {
+        idx = freeParents.back();
+        freeParents.pop_back();
+    }
+    Parent &p = parents[idx];
+    p.remaining = remaining;
+    p.done = std::move(done);
+    p.lastData = 0;
+    return idx;
+}
+
+void
+DramController::releaseParent(std::uint32_t idx)
+{
+    parents[idx].done = nullptr;
+    freeParents.push_back(idx);
+}
+
 void
 DramController::access(Addr addr, bool write, std::uint32_t size,
                        DoneCallback done)
@@ -81,12 +124,8 @@ DramController::access(Addr addr, bool write, std::uint32_t size,
     if (lines == 0)
         lines = 1;
 
-    // simlint-allow(hotpath: one fan-in node per CPU request on the
-    // admission side, shared by its line splits -- not a per-event
-    // allocation in the scheduler loop)
-    auto parent = std::make_shared<Parent>();
-    parent->remaining = lines;
-    parent->done = std::move(done);
+    // One recycled fan-in slot per access, shared by its line splits.
+    std::uint32_t parent = allocParent(lines, std::move(done));
 
     Addr base = alignDown(addr, cacheLineSize);
     for (unsigned i = 0; i < lines; ++i) {
@@ -96,8 +135,8 @@ DramController::access(Addr addr, bool write, std::uint32_t size,
         r.write = write;
         r.enqueueTick = eventq.curTick();
         r.seq = nextSeq++;
-        r.parent = parent;
-        (write ? writeQueue : readQueue).push_back(std::move(r));
+        r.parentIdx = parent;
+        (write ? writeQueue : readQueue).push_back(r);
     }
     statGroup.scalar(write ? "write_accesses" : "read_accesses").inc();
     statGroup.scalar(write ? "bytes_written" : "bytes_read").inc(size);
@@ -224,21 +263,26 @@ DramController::issueCas(const LineReq &r)
                      r.coord.rank, r.coord.bankGroup, r.coord.bank,
                      r.coord.row, r.coord.column});
 
-    auto parent = r.parent;
+    std::uint32_t pi = r.parentIdx;
     Tick enq = r.enqueueTick;
     bool write = r.write;
-    eventq.schedule(data_end, [this, parent, data_end, enq, write] {
-        parent->lastData = std::max(parent->lastData, data_end);
-        if (--parent->remaining == 0) {
-            statGroup
-                .average(write ? "write_latency_ns" : "read_latency_ns")
-                .sample(ticksToNs(data_end - enq));
+    eventq.schedule(data_end, [this, pi, data_end, enq, write] {
+        Parent &pa = parents[pi];
+        pa.lastData = std::max(pa.lastData, data_end);
+        if (--pa.remaining == 0) {
+            (write ? sWriteLatency : sReadLatency)
+                ->sample(ticksToNs(data_end - enq));
             if (tracer) [[unlikely]] {
                 tracer->span(traceTrack, write ? lblWrite : lblRead,
                              enq, data_end);
             }
-            if (parent->done)
-                parent->done(data_end);
+            // Move the callback out and recycle the slot first: the
+            // callback may re-enter access(), and slab growth there
+            // would invalidate pa.
+            DoneCallback done = std::move(pa.done);
+            releaseParent(pi);
+            if (done)
+                done(data_end);
         }
     });
 }
@@ -309,34 +353,33 @@ DramController::process()
 
     // Pick a request within a queue: FR-FCFS prefers ready row hits,
     // then any ready request, oldest first. The write scan is
-    // bounded to the scheduler window.
-    auto pick = [&](std::list<LineReq> &q, unsigned window) {
-        unsigned scanned = 0;
-        auto best = q.end();
-        for (auto it = q.begin();
-             it != q.end() && scanned < window; ++it, ++scanned) {
-            if (earliestIssue(*it) > now)
+    // bounded to the scheduler window. Index-based: the queues are
+    // vectors ordered by arrival.
+    constexpr std::size_t none = static_cast<std::size_t>(-1);
+    auto pick = [&](const FifoRing<LineReq> &q, unsigned window) {
+        std::size_t best = none;
+        std::size_t limit = std::min<std::size_t>(q.size(), window);
+        for (std::size_t i = 0; i < limit; ++i) {
+            if (earliestIssue(q.at(i)) > now)
                 continue;
-            const BankState &b = banks[bankIndex(it->coord)];
-            if (b.open && b.row == it->coord.row)
-                return it; // Oldest ready row hit wins.
-            if (best == q.end())
-                best = it;
+            const BankState &b = banks[bankIndex(q.at(i).coord)];
+            if (b.open && b.row == q.at(i).coord.row)
+                return i; // Oldest ready row hit wins.
+            if (best == none)
+                best = i;
         }
         return best;
     };
-    auto earliest = [&](std::list<LineReq> &q, unsigned window) {
+    auto earliest = [&](const FifoRing<LineReq> &q, unsigned window) {
         Tick best = never;
-        unsigned scanned = 0;
-        for (auto it = q.begin();
-             it != q.end() && scanned < window; ++it, ++scanned) {
-            best = std::min(best, earliestIssue(*it));
-        }
+        std::size_t limit = std::min<std::size_t>(q.size(), window);
+        for (std::size_t i = 0; i < limit; ++i)
+            best = std::min(best, earliestIssue(q.at(i)));
         return best;
     };
 
-    std::list<LineReq> *src = nullptr;
-    std::list<LineReq>::iterator chosen;
+    FifoRing<LineReq> *src = nullptr;
+    std::size_t chosen = none;
     if (policy == SchedPolicy::FCFS) {
         // Strict arrival order across both queues.
         bool read_first =
@@ -349,7 +392,7 @@ DramController::process()
                                     now + 1));
             return;
         }
-        chosen = src->begin();
+        chosen = 0;
     } else {
         // Strict read priority: while any read is queued, writes
         // hold. A continuous write stream would otherwise keep
@@ -359,7 +402,7 @@ DramController::process()
         if (!readQueue.empty()) {
             src = &readQueue;
             chosen = pick(readQueue, 64);
-            if (chosen == readQueue.end()) {
+            if (chosen == none) {
                 scheduleWakeup(
                     std::max(earliest(readQueue, 64), now + 1));
                 return;
@@ -367,7 +410,7 @@ DramController::process()
         } else {
             src = &writeQueue;
             chosen = pick(writeQueue, writeScanWindow);
-            if (chosen == writeQueue.end()) {
+            if (chosen == none) {
                 scheduleWakeup(std::max(
                     earliest(writeQueue, writeScanWindow), now + 1));
                 return;
@@ -375,8 +418,8 @@ DramController::process()
         }
     }
 
-    if (issueFor(*chosen))
-        src->erase(chosen);
+    if (issueFor(src->at(chosen)))
+        src->eraseAt(chosen);
     scheduleWakeup(now + spec.period());
 }
 
@@ -406,8 +449,8 @@ DramController::snapshotTo(snapshot::StateSink &sink) const
     sink.u64(lastCasAny);
     sink.u64(lastActAny);
     sink.u64(actWindow.size());
-    for (Tick t : actWindow)
-        sink.u64(t);
+    for (std::size_t i = 0; i < actWindow.size(); ++i)
+        sink.u64(actWindow.at(i));
     sink.u64(lastWrDataEnd);
     sink.u64(dataBusFree);
     sink.u64(cmdBusFree);
@@ -470,6 +513,7 @@ DramController::restoreFrom(snapshot::StateSource &src)
     bool wakeup = src.boolean();
     Tick wakeup_at = src.u64();
     statGroup.restoreFrom(src);
+    cacheStatPointers(); // restoreFrom rebuilt the stat maps.
     bool had_checker = src.boolean();
     if (had_checker && checker)
         checker->restoreFrom(src);

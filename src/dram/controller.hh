@@ -20,12 +20,11 @@
 #define VANS_DRAM_CONTROLLER_HH
 
 #include <cstdint>
-#include <deque>
-#include <list>
 #include <memory>
 #include <vector>
 
 #include "common/event_queue.hh"
+#include "common/fifo_ring.hh"
 #include "common/inplace_function.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -139,7 +138,7 @@ class DramController
         Tick enqueueTick;
         std::uint64_t seq = 0;   ///< Arrival order (FCFS).
         bool classified = false; ///< Hit/miss stat recorded.
-        std::shared_ptr<Parent> parent;
+        std::uint32_t parentIdx = 0; ///< Fan-in slot in parents.
     };
 
     struct BankState
@@ -190,12 +189,35 @@ class DramController
     // policy enum fixed at build time)
     SchedPolicy policy;
 
+    /** Grab a fan-in slot from the recycled parent slab. */
+    std::uint32_t allocParent(unsigned remaining, DoneCallback done);
+    /** Return a completed fan-in slot to the free list. */
+    void releaseParent(std::uint32_t idx);
+
     std::vector<BankState> banks;
     /** Reads and writes queue separately: reads have strict
      *  priority (writes are posted), and the write scan is bounded
-     *  to a scheduler window to keep per-command cost constant. */
-    std::list<LineReq> readQueue;
-    std::list<LineReq> writeQueue;
+     *  to a scheduler window to keep per-command cost constant.
+     *  Ring-buffered, index-addressed: the windowed scan stays
+     *  contiguous in practice, the scheduler erase shifts only the
+     *  scan-window prefix (a sustained read stream legitimately
+     *  starves posted writes into a very deep queue, so an erase
+     *  proportional to depth would go quadratic), and the warm
+     *  capacity makes steady-state admission allocation-free. */
+    FifoRing<LineReq> readQueue;
+    FifoRing<LineReq> writeQueue;
+    /**
+     * Recycled fan-in nodes, one per in-flight access (all its line
+     * splits share the slot). Index-addressed so slab growth never
+     * invalidates a reference held by a scheduled data event.
+     */
+    // simlint-transient(fan-in slots only carry in-flight accesses,
+    // and snapshotTo REQUIREs both request queues empty; the free
+    // list rebuilds as a restored world issues fresh accesses)
+    std::vector<Parent> parents;
+    // simlint-transient(free-list over parents, which are all free at
+    // capture since the request queues are REQUIREd empty)
+    std::vector<std::uint32_t> freeParents;
     std::uint64_t nextSeq = 0;
     static constexpr unsigned writeScanWindow = 32;
 
@@ -204,7 +226,7 @@ class DramController
     std::vector<Tick> lastActInGroup;
     Tick lastCasAny = 0;
     Tick lastActAny = 0;
-    std::deque<Tick> actWindow; ///< For tFAW.
+    FifoRing<Tick> actWindow; ///< For tFAW.
     Tick lastWrDataEnd = 0;     ///< For tWTR.
     Tick dataBusFree = 0;
     Tick cmdBusFree = 0;
@@ -216,6 +238,16 @@ class DramController
     Tick wakeupAt = 0;
 
     StatGroup statGroup;
+    /** Cached latency averages: the names exceed std::string's SSO
+     *  and the data-completion event must not allocate per access. */
+    // simlint-transient(re-resolved by cacheStatPointers after
+    // restoreFrom rebuilds the stat maps)
+    StatAverage *sReadLatency = nullptr;
+    // simlint-transient(re-resolved by cacheStatPointers after
+    // restoreFrom rebuilds the stat maps)
+    StatAverage *sWriteLatency = nullptr;
+    /** Re-resolve the cached stat pointers (ctor and post-restore). */
+    void cacheStatPointers();
     // simlint-transient(the command trace is documented as not
     // preserved across snapshot -- a restored world records a fresh
     // trace, which the snapshot-identity test relies on)

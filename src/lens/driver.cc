@@ -42,16 +42,17 @@ Driver::idle(Tick ticks)
 Tick
 Driver::read(Addr addr, std::uint32_t size)
 {
-    auto req = makeRequest(addr, MemOp::ReadNT, size);
+    RequestHandle h = mem.makeRequest(addr, MemOp::ReadNT, size);
     bool done = false;
     Tick lat = 0;
-    req->onComplete = [&done, &lat](Request &r) {
+    mem.request(h).onComplete = [&done, &lat](Request &r) {
         done = true;
         lat = r.latency();
     };
     Tick start = eq.curTick();
-    mem.issue(req);
+    mem.issue(h);
     runUntil([&done] { return done; });
+    mem.pool().release(h);
     // A zero-latency load would mean the model handed data back in
     // the issuing event -- a measurement artifact, not a memory.
     VANS_INVARIANT("lens.driver", eq.curTick(), lat > 0,
@@ -66,16 +67,17 @@ Driver::read(Addr addr, std::uint32_t size)
 Tick
 Driver::write(Addr addr, std::uint32_t size)
 {
-    auto req = makeRequest(addr, MemOp::WriteNT, size);
+    RequestHandle h = mem.makeRequest(addr, MemOp::WriteNT, size);
     bool done = false;
     Tick lat = 0;
-    req->onComplete = [&done, &lat](Request &r) {
+    mem.request(h).onComplete = [&done, &lat](Request &r) {
         done = true;
         lat = r.latency();
     };
     Tick start = eq.curTick();
-    mem.issue(req);
+    mem.issue(h);
     runUntil([&done] { return done; });
+    mem.pool().release(h);
     if (tracer) [[unlikely]]
         tracer->spanAddr(traceTrack, lblWrite, start, start + lat,
                          addr);
@@ -85,16 +87,17 @@ Driver::write(Addr addr, std::uint32_t size)
 Tick
 Driver::fence()
 {
-    auto req = makeRequest(0, MemOp::Fence, 0);
+    RequestHandle h = mem.makeRequest(0, MemOp::Fence, 0);
     bool done = false;
     Tick lat = 0;
-    req->onComplete = [&done, &lat](Request &r) {
+    mem.request(h).onComplete = [&done, &lat](Request &r) {
         done = true;
         lat = r.latency();
     };
     Tick start = eq.curTick();
-    mem.issue(req);
+    mem.issue(h);
     runUntil([&done] { return done; });
+    mem.pool().release(h);
     if (tracer) [[unlikely]]
         tracer->span(traceTrack, lblFence, start, start + lat);
     return lat;
@@ -115,16 +118,20 @@ Driver::streamOps(const std::vector<Addr> &addrs, MemOp op,
     while (completed < addrs.size()) {
         if (issued < addrs.size() && in_flight < max_in_flight) {
             if (eq.curTick() >= next_allowed) {
-                auto req = makeRequest(addrs[issued], op);
-                req->onComplete =
-                    [&completed, &in_flight](Request &) {
+                RequestHandle h = mem.makeRequest(addrs[issued], op);
+                // The stream loop never revisits a request: release
+                // the slot right inside the completion callback.
+                mem.request(h).onComplete =
+                    [&completed, &in_flight, p = &mem.pool(),
+                     h](Request &) {
                         ++completed;
                         --in_flight;
+                        p->release(h);
                     };
                 ++issued;
                 ++in_flight;
                 next_allowed = eq.curTick() + issue_gap;
-                mem.issue(req);
+                mem.issue(h);
                 continue;
             }
             // Blocked only by the issue gap: advance to it.

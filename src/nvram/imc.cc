@@ -8,17 +8,17 @@
 namespace vans::nvram
 {
 
-Imc::Imc(EventQueue &eq, const NvramConfig &config,
-         const std::string &name)
-    : eventq(eq), cfg(config), statGroup(name)
+Imc::Imc(EventQueue &eq, RequestPool &req_pool,
+         const NvramConfig &config, const std::string &name)
+    : eventq(eq), pool(req_pool), cfg(config), statGroup(name)
 {
     buildChannels(name);
 }
 
-Imc::Imc(ShardedKernel &kernel, const NvramConfig &config,
-         const std::string &name)
-    : eventq(kernel.core()), kern(&kernel), cfg(config),
-      statGroup(name)
+Imc::Imc(ShardedKernel &kernel, RequestPool &req_pool,
+         const NvramConfig &config, const std::string &name)
+    : eventq(kernel.core()), pool(req_pool), kern(&kernel),
+      cfg(config), statGroup(name)
 {
     VANS_REQUIRE("imc", 0, kernel.numChannels() == config.numDimms,
                  "kernel has %u shards for %u channels",
@@ -49,7 +49,31 @@ Imc::buildChannels(const std::string &name)
         ch.dimm = std::make_unique<NvramDimm>(
             *ch.q, cfg, name + ".dimm" + std::to_string(i));
         ch.dimm->setWriteSpaceCallback([this, i] { wpqDrain(i); });
+        ch.wpqLines.reserve(cfg.wpqEntries);
+        cacheStatPointers(ch);
     }
+    sReads = &statGroup.scalar("reads");
+    sWrites = &statGroup.scalar("writes");
+    sFences = &statGroup.scalar("fences");
+}
+
+void
+Imc::cacheStatPointers(Channel &ch)
+{
+    ch.sBusTurnarounds = &ch.stats->scalar("bus_turnarounds");
+    ch.sWpqMerges = &ch.stats->scalar("wpq_merges");
+    ch.sWpqStalls = &ch.stats->scalar("wpq_stalls");
+    ch.sWpqReadHazards = &ch.stats->scalar("wpq_read_hazards");
+}
+
+bool
+Imc::wpqContains(const Channel &ch, Addr line)
+{
+    for (Addr l : ch.wpqLines) {
+        if (l == line)
+            return true;
+    }
+    return false;
 }
 
 void
@@ -114,7 +138,7 @@ Imc::busTransfer(Channel &ch, bool write, std::uint32_t bytes)
     Tick start = std::max(now, ch.bus.freeAt);
     if (ch.bus.used && ch.bus.lastWasWrite != write) {
         start += nsToTicks(cfg.busTurnaroundNs);
-        ch.stats->scalar("bus_turnarounds").inc();
+        ch.sBusTurnarounds->inc();
     }
     unsigned beats = (bytes + cacheLineSize - 1) / cacheLineSize;
     Tick occupancy = nsToTicks(cfg.busCmdNs) +
@@ -131,58 +155,65 @@ Imc::busTransfer(Channel &ch, bool write, std::uint32_t bytes)
 }
 
 void
-Imc::noteQueued(Channel &ch, const RequestPtr &req)
+Imc::noteQueued(Channel &ch, RequestHandle h)
 {
-    // The hop list lives on the request itself; safe from the shard.
+    // The hop list lives on the pooled request; safe from the shard
+    // (the core only allocs/releases between phases).
     if (ch.tracer) [[unlikely]]
-        ch.tracer->onQueued(*req, ch.q->curTick());
+        ch.tracer->onQueued(pool.get(h), ch.q->curTick());
     if (!lifecycle)
         return;
     if (!kern) {
-        lifecycle->onQueued(*req);
+        lifecycle->onQueued(pool.get(h));
         return;
     }
     // The checker's state is core-side: defer the observation through
     // the outbox so it applies at the barrier, in (tick, shard,
     // append-order) order.
     kern->toCore(ch.idx, ch.q->curTick(),
-                 [lc = lifecycle, req] { lc->onQueued(*req); });
+                 [lc = lifecycle, p = &pool, h] {
+                     lc->onQueued(p->get(h));
+                 });
 }
 
 void
-Imc::noteServiced(Channel &ch, const RequestPtr &req)
+Imc::noteServiced(Channel &ch, RequestHandle h)
 {
     if (ch.tracer) [[unlikely]]
-        ch.tracer->onServiced(*req, ch.q->curTick());
+        ch.tracer->onServiced(pool.get(h), ch.q->curTick());
     if (!lifecycle)
         return;
     if (!kern) {
-        lifecycle->onServiced(*req);
+        lifecycle->onServiced(pool.get(h));
         return;
     }
     kern->toCore(ch.idx, ch.q->curTick(),
-                 [lc = lifecycle, req] { lc->onServiced(*req); });
+                 [lc = lifecycle, p = &pool, h] {
+                     lc->onServiced(p->get(h));
+                 });
 }
 
 void
-Imc::completeWrite(Channel &ch, const RequestPtr &req)
+Imc::completeWrite(Channel &ch, RequestHandle h)
 {
-    noteServiced(ch, req);
+    noteServiced(ch, h);
     Tick when = ch.q->curTick();
     if (!kern) {
-        req->complete(when);
+        pool.get(h).complete(when);
         return;
     }
     // ADR's zero-latency completion crosses the shard boundary at
     // the same tick: produced in phase A, delivered in phase B.
-    kern->toCore(ch.idx, when, [req, when] { req->complete(when); });
+    kern->toCore(ch.idx, when, [p = &pool, h, when] {
+        p->get(h).complete(when);
+    });
 }
 
 void
-Imc::issueWrite(RequestPtr req)
+Imc::issueWrite(RequestHandle h)
 {
-    statGroup.scalar("writes").inc();
-    unsigned ci = dimmOf(req->addr);
+    sWrites->inc();
+    unsigned ci = dimmOf(pool.get(h).addr);
     Channel &ch = channels[ci];
     ++ch.pendingArrivals;
     // Core -> uncore -> iMC pipeline before the WPQ probe. The hop is
@@ -190,42 +221,42 @@ Imc::issueWrite(RequestPtr req)
     // so the target shard is parked (classic mode: same queue).
     ch.q->schedule(
         eventq.curTick() + nsToTicks(cfg.coreToImcNs),
-        [this, ci, req] {
+        [this, ci, h] {
             Channel &c = channels[ci];
             --c.pendingArrivals;
-            Addr line = alignDown(req->addr, cacheLineSize);
-            noteQueued(c, req);
+            Addr line = alignDown(pool.get(h).addr, cacheLineSize);
+            noteQueued(c, h);
 
-            if (c.wpqMap.count(line)) {
+            if (wpqContains(c, line)) {
                 // Merge into the pending entry: already in ADR.
-                c.stats->scalar("wpq_merges").inc();
-                completeWrite(c, req);
+                c.sWpqMerges->inc();
+                completeWrite(c, h);
                 return;
             }
-            if (c.wpqMap.size() < cfg.wpqEntries) {
-                wpqInsert(c, line, req);
+            if (c.wpqLines.size() < cfg.wpqEntries) {
+                wpqInsert(c, line, h);
                 wpqDrain(ci);
                 return;
             }
             // WPQ full: the store stalls until a slot frees.
-            c.stats->scalar("wpq_stalls").inc();
-            c.wpqWaiting.push_back(req);
+            c.sWpqStalls->inc();
+            c.wpqWaiting.push_back(h);
             wpqDrain(ci);
         });
 }
 
 void
-Imc::wpqInsert(Channel &ch, Addr line, RequestPtr req)
+Imc::wpqInsert(Channel &ch, Addr line, RequestHandle h)
 {
     // The WPQ is the 512B ADR domain: it must never stretch beyond
     // its configured 8 x 64B slots.
     VANS_INVARIANT("imc.wpq", ch.q->curTick(),
-                   ch.wpqMap.size() < cfg.wpqEntries,
+                   ch.wpqLines.size() < cfg.wpqEntries,
                    "WPQ overflow: %zu lines, capacity %u",
-                   ch.wpqMap.size(), cfg.wpqEntries);
-    ch.wpqMap[line] = true;
+                   ch.wpqLines.size(), cfg.wpqEntries);
+    ch.wpqLines.push_back(line);
     ch.wpqFifo.push_back(line);
-    completeWrite(ch, req);
+    completeWrite(ch, h);
 }
 
 void
@@ -250,27 +281,40 @@ Imc::wpqDrain(unsigned ci)
                      "WPQ drained into a full DIMM LSQ (line %llx)",
                      static_cast<unsigned long long>(line));
         c.dimm->acceptWrite(line);
-        c.wpqMap.erase(line);
+        for (std::size_t i = 0; i < c.wpqLines.size(); ++i) {
+            if (c.wpqLines[i] == line) {
+                // Membership only: order lives in wpqFifo.
+                c.wpqLines[i] = c.wpqLines.back();
+                c.wpqLines.pop_back();
+                break;
+            }
+        }
 
         // Reads held on this WPQ line may now proceed to the DIMM.
         // The released set is staged in the channel's scratch buffer
         // (capacity retained across drains) because startRead only
-        // schedules work -- it never re-enters this drain.
-        auto range = c.wpqReadHazards.equal_range(line);
+        // schedules work -- it never re-enters this drain. The flat
+        // hazard vector preserves insertion order per line, exactly
+        // like the multimap it replaced.
         c.hazardScratch.clear();
-        for (auto it = range.first; it != range.second; ++it)
-            c.hazardScratch.push_back(it->second);
-        c.wpqReadHazards.erase(range.first, range.second);
-        for (auto &r : c.hazardScratch)
+        std::size_t kept = 0;
+        for (std::size_t i = 0; i < c.wpqReadHazards.size(); ++i) {
+            if (c.wpqReadHazards[i].first == line)
+                c.hazardScratch.push_back(c.wpqReadHazards[i].second);
+            else
+                c.wpqReadHazards[kept++] = c.wpqReadHazards[i];
+        }
+        c.wpqReadHazards.resize(kept);
+        for (RequestHandle r : c.hazardScratch)
             startRead(ci, r);
 
         // Admit a waiting store into the freed slot.
         if (!c.wpqWaiting.empty()) {
-            RequestPtr w = c.wpqWaiting.front();
+            RequestHandle w = c.wpqWaiting.front();
             c.wpqWaiting.pop_front();
-            Addr wline = alignDown(w->addr, cacheLineSize);
-            if (c.wpqMap.count(wline)) {
-                c.stats->scalar("wpq_merges").inc();
+            Addr wline = alignDown(pool.get(w).addr, cacheLineSize);
+            if (wpqContains(c, wline)) {
+                c.sWpqMerges->inc();
                 completeWrite(c, w);
             } else {
                 wpqInsert(c, wline, w);
@@ -286,39 +330,39 @@ Imc::wpqDrain(unsigned ci)
 }
 
 void
-Imc::issueRead(RequestPtr req)
+Imc::issueRead(RequestHandle h)
 {
-    statGroup.scalar("reads").inc();
-    unsigned ci = dimmOf(req->addr);
+    sReads->inc();
+    unsigned ci = dimmOf(pool.get(h).addr);
     Channel &ch = channels[ci];
     ++ch.pendingArrivals;
     ch.q->schedule(
         eventq.curTick() + nsToTicks(cfg.coreToImcNs),
-        [this, ci, req] {
+        [this, ci, h] {
             Channel &c = channels[ci];
             --c.pendingArrivals;
-            Addr line = alignDown(req->addr, cacheLineSize);
-            noteQueued(c, req);
+            Addr line = alignDown(pool.get(h).addr, cacheLineSize);
+            noteQueued(c, h);
 
             // Read-after-write ordering at the iMC: a read that hits
             // a pending WPQ line waits for that line to drain (NT
             // loads do not forward from the WPQ -- section III-C's
             // RaW behaviour).
-            if (c.wpqMap.count(line)) {
-                c.stats->scalar("wpq_read_hazards").inc();
-                c.wpqReadHazards.emplace(line, req);
+            if (wpqContains(c, line)) {
+                c.sWpqReadHazards->inc();
+                c.wpqReadHazards.emplace_back(line, h);
                 return;
             }
-            startRead(ci, req);
+            startRead(ci, h);
         });
 }
 
 void
-Imc::startRead(unsigned ci, RequestPtr req)
+Imc::startRead(unsigned ci, RequestHandle h)
 {
     Channel &ch = channels[ci];
     if (ch.rpqInFlight >= cfg.rpqEntries) {
-        ch.rpqWaiting.push_back(req);
+        ch.rpqWaiting.push_back(h);
         return;
     }
     ++ch.rpqInFlight;
@@ -329,23 +373,26 @@ Imc::startRead(unsigned ci, RequestPtr req)
 
     // Command phase over the bus.
     Tick cmd_arrival = busTransfer(ch, false, 0);
-    ch.q->schedule(cmd_arrival, [this, ci, req] {
+    ch.q->schedule(cmd_arrival, [this, ci, h] {
         Channel &c = channels[ci];
-        c.dimm->read(req->addr, [this, ci, req](Tick) {
+        c.dimm->read(pool.get(h).addr, [this, ci, h](Tick) {
             // Data staged at the DIMM: grant + data return phase.
             Channel &c2 = channels[ci];
-            noteServiced(c2, req);
-            Tick data_arrival = busTransfer(c2, false, req->size);
+            noteServiced(c2, h);
+            Tick data_arrival =
+                busTransfer(c2, false, pool.get(h).size);
             Tick at_core = data_arrival + nsToTicks(cfg.coreToImcNs);
             if (!kern) {
                 // Classic: one event completes the read at the core
-                // and frees the RPQ slot.
-                eventq.schedule(at_core, [this, ci, req, at_core] {
+                // and frees the RPQ slot. The completion may release
+                // the handle, so the RPQ bookkeeping never touches
+                // the request afterwards.
+                eventq.schedule(at_core, [this, ci, h, at_core] {
                     Channel &c3 = channels[ci];
-                    req->complete(at_core);
+                    pool.get(h).complete(at_core);
                     --c3.rpqInFlight;
                     if (!c3.rpqWaiting.empty()) {
-                        RequestPtr next = c3.rpqWaiting.front();
+                        RequestHandle next = c3.rpqWaiting.front();
                         c3.rpqWaiting.pop_front();
                         startRead(ci, next);
                     }
@@ -359,26 +406,27 @@ Imc::startRead(unsigned ci, RequestPtr req)
                 Channel &c3 = channels[ci];
                 --c3.rpqInFlight;
                 if (!c3.rpqWaiting.empty()) {
-                    RequestPtr next = c3.rpqWaiting.front();
+                    RequestHandle next = c3.rpqWaiting.front();
                     c3.rpqWaiting.pop_front();
                     startRead(ci, next);
                 }
             });
-            kern->toCore(ci, at_core,
-                         [req, at_core] { req->complete(at_core); });
+            kern->toCore(ci, at_core, [p = &pool, h, at_core] {
+                p->get(h).complete(at_core);
+            });
         });
     });
 }
 
 void
-Imc::issueFence(RequestPtr req)
+Imc::issueFence(RequestHandle h)
 {
-    statGroup.scalar("fences").inc();
+    sFences->inc();
     if (lifecycle)
-        lifecycle->onQueued(*req);
+        lifecycle->onQueued(pool.get(h));
     if (tracer) [[unlikely]]
-        tracer->onQueued(*req, eventq.curTick());
-    pendingFences.push_back(req);
+        tracer->onQueued(pool.get(h), eventq.curTick());
+    pendingFences.push_back(h);
     checkFences();
 }
 
@@ -399,7 +447,7 @@ Imc::checkFences()
     // separate partial drains, which the real fence does not do.
     bool wpq_quiet = true;
     for (const auto &ch : channels) {
-        if (!ch.wpqMap.empty() || !ch.wpqWaiting.empty() ||
+        if (!ch.wpqLines.empty() || !ch.wpqWaiting.empty() ||
             ch.wpqDrainBusy) {
             wpq_quiet = false;
             break;
@@ -412,7 +460,7 @@ Imc::checkFences()
 
     bool quiet = wpq_quiet;
     for (const auto &ch : channels) {
-        if (!ch.wpqMap.empty() || !ch.wpqWaiting.empty() ||
+        if (!ch.wpqLines.empty() || !ch.wpqWaiting.empty() ||
             ch.wpqDrainBusy || !ch.dimm->writeQuiescent()) {
             quiet = false;
             break;
@@ -420,12 +468,14 @@ Imc::checkFences()
     }
     if (quiet) {
         Tick now = eventq.curTick();
-        for (auto &f : pendingFences) {
+        for (RequestHandle f : pendingFences) {
             if (lifecycle)
-                lifecycle->onServiced(*f);
+                lifecycle->onServiced(pool.get(f));
             if (tracer) [[unlikely]]
-                tracer->onServiced(*f, now);
-            f->complete(now);
+                tracer->onServiced(pool.get(f), now);
+            // complete() may release the handle (issuer callback);
+            // the request is not touched again after this call.
+            pool.get(f).complete(now);
         }
         pendingFences.clear();
         return;
@@ -454,7 +504,7 @@ Imc::quiescent() const
     if (!pendingFences.empty() || fencePollScheduled)
         return false;
     for (const auto &ch : channels) {
-        if (ch.pendingArrivals != 0 || !ch.wpqMap.empty() ||
+        if (ch.pendingArrivals != 0 || !ch.wpqLines.empty() ||
             !ch.wpqFifo.empty() || !ch.wpqWaiting.empty() ||
             ch.wpqDrainBusy || !ch.wpqReadHazards.empty() ||
             ch.rpqInFlight != 0 || !ch.rpqWaiting.empty() ||
@@ -517,8 +567,14 @@ Imc::restoreFrom(snapshot::StateSource &src)
             ch.q->restoreFrom(src);
         ch.stats->restoreFrom(src);
         ch.dimm->restoreFrom(src);
+        // restoreFrom rebuilt the scalar map: re-resolve the cached
+        // hot-path counters.
+        cacheStatPointers(ch);
     }
     statGroup.restoreFrom(src);
+    sReads = &statGroup.scalar("reads");
+    sWrites = &statGroup.scalar("writes");
+    sFences = &statGroup.scalar("fences");
 }
 
 } // namespace vans::nvram

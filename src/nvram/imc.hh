@@ -34,14 +34,15 @@
 #ifndef VANS_NVRAM_IMC_HH
 #define VANS_NVRAM_IMC_HH
 
-#include <deque>
-#include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/event_queue.hh"
+#include "common/fifo_ring.hh"
 #include "common/lifecycle.hh"
 #include "common/request.hh"
+#include "common/request_pool.hh"
 #include "common/sharded_kernel.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -57,24 +58,24 @@ class Imc
 {
   public:
     /** Classic single-queue mode. */
-    Imc(EventQueue &eq, const NvramConfig &cfg,
+    Imc(EventQueue &eq, RequestPool &pool, const NvramConfig &cfg,
         const std::string &name);
 
     /** Sharded mode: one channel per kernel shard. */
-    Imc(ShardedKernel &kernel, const NvramConfig &cfg,
-        const std::string &name);
+    Imc(ShardedKernel &kernel, RequestPool &pool,
+        const NvramConfig &cfg, const std::string &name);
 
     /** Route a 64B line to its DIMM. */
     unsigned dimmOf(Addr addr) const;
 
     /** Issue one read (completes when data is back at the core). */
-    void issueRead(RequestPtr req);
+    void issueRead(RequestHandle h);
 
     /** Issue one write (completes at WPQ entry/merge: ADR reached). */
-    void issueWrite(RequestPtr req);
+    void issueWrite(RequestHandle h);
 
     /** Issue a fence (completes at write-path quiescence). */
-    void issueFence(RequestPtr req);
+    void issueFence(RequestHandle h);
 
     NvramDimm &dimm(unsigned i) { return *channels[i].dimm; }
     unsigned numDimms() const
@@ -96,7 +97,7 @@ class Imc
     /** WPQ lines currently held in ADR for channel @p ci. */
     std::size_t wpqOccupancy(unsigned ci) const
     {
-        return channels[ci].wpqMap.size();
+        return channels[ci].wpqLines.size();
     }
 
     /** Reads in flight past the RPQ admission for channel @p ci. */
@@ -170,33 +171,52 @@ class Imc
         EventQueue *q = nullptr;
         std::unique_ptr<NvramDimm> dimm;
         std::unique_ptr<StatGroup> stats;
-        // WPQ: line address -> present; FIFO order for draining.
+        /** Cached per-channel counters: StatGroup::scalar takes a
+         *  std::string key, which is off the hot path once these are
+         *  resolved. Re-cached after restoreFrom (restore rebuilds
+         *  the scalar map). */
+        // simlint-transient(cached pointer into `stats`, which is
+        // serialized; cacheStatPointers re-resolves after restore)
+        StatScalar *sBusTurnarounds = nullptr;
+        // simlint-transient(cached pointer into `stats`; re-resolved
+        // by cacheStatPointers after restore)
+        StatScalar *sWpqMerges = nullptr;
+        // simlint-transient(cached pointer into `stats`; re-resolved
+        // by cacheStatPointers after restore)
+        StatScalar *sWpqStalls = nullptr;
+        // simlint-transient(cached pointer into `stats`; re-resolved
+        // by cacheStatPointers after restore)
+        StatScalar *sWpqReadHazards = nullptr;
+        /** WPQ membership (<= wpqEntries lines, linear scan beats a
+         *  map at that size and never allocates once reserved). */
         // simlint-transient(quiescent() REQUIREs the WPQ empty at
         // capture -- posted writes must have drained)
-        std::map<Addr, bool> wpqMap;
+        std::vector<Addr> wpqLines;
         // simlint-transient(drain order over an empty WPQ; see
         // quiescent())
-        std::deque<Addr> wpqFifo;
+        FifoRing<Addr> wpqFifo;
         // simlint-transient(admission queue, empty at quiescence)
-        std::deque<RequestPtr> wpqWaiting;
+        FifoRing<RequestHandle> wpqWaiting;
         // simlint-transient(provably false once the WPQ is drained;
         // quiescent() is the snapshot precondition)
         bool wpqDrainBusy = false;
-        // Reads blocked on a WPQ line (read-after-write at the iMC).
+        /** Reads blocked on a WPQ line (read-after-write at the
+         *  iMC); insertion order per line is release order, exactly
+         *  like the multimap this flat vector replaced. */
         // simlint-transient(hazard waiters require a WPQ occupant,
         // and the WPQ is empty at quiescence)
-        std::multimap<Addr, RequestPtr> wpqReadHazards;
+        std::vector<std::pair<Addr, RequestHandle>> wpqReadHazards;
         /** Drain-time staging for released hazards, hoisted out of
          *  wpqDrain so the event path reuses its capacity. */
         // simlint-transient(scratch: cleared before every use and
         // dead between drains)
-        std::vector<RequestPtr> hazardScratch;
+        std::vector<RequestHandle> hazardScratch;
         // RPQ.
         // simlint-transient(provably 0 at capture: quiescent() counts
         // in-flight reads)
         unsigned rpqInFlight = 0;
         // simlint-transient(admission queue, empty at quiescence)
-        std::deque<RequestPtr> rpqWaiting;
+        FifoRing<RequestHandle> rpqWaiting;
         DdrtBus bus;
         /** Issued, not yet past the core-to-iMC hop (see quiescent). */
         // simlint-transient(provably 0 at capture: quiescent() checks
@@ -218,6 +238,12 @@ class Imc
     /** Shared constructor body. */
     void buildChannels(const std::string &name);
 
+    /** Resolve the per-channel hot-path stat counters. */
+    void cacheStatPointers(Channel &ch);
+
+    /** WPQ membership probe (linear over <= wpqEntries lines). */
+    static bool wpqContains(const Channel &ch, Addr line);
+
     /**
      * Claim the channel bus for a transfer. @return transfer end
      * (the bus is occupied from the computed start to the end).
@@ -225,8 +251,8 @@ class Imc
     Tick busTransfer(Channel &ch, bool write, std::uint32_t bytes);
 
     /** Channel-side lifecycle/trace observation points. */
-    void noteQueued(Channel &ch, const RequestPtr &req);
-    void noteServiced(Channel &ch, const RequestPtr &req);
+    void noteQueued(Channel &ch, RequestHandle h);
+    void noteServiced(Channel &ch, RequestHandle h);
 
     /**
      * Complete a write at the channel's current tick: synchronously
@@ -234,14 +260,16 @@ class Imc
      * barrier-merged outbox in sharded mode -- same tick, delivered
      * in phase B.
      */
-    void completeWrite(Channel &ch, const RequestPtr &req);
+    void completeWrite(Channel &ch, RequestHandle h);
 
-    void wpqInsert(Channel &ch, Addr line, RequestPtr req);
+    void wpqInsert(Channel &ch, Addr line, RequestHandle h);
     void wpqDrain(unsigned ci);
-    void startRead(unsigned ci, RequestPtr req);
+    void startRead(unsigned ci, RequestHandle h);
     void checkFences();
 
     EventQueue &eventq; ///< Core queue (both modes).
+    /** The owning system's request pool (handles index into it). */
+    RequestPool &pool;
     ShardedKernel *kern = nullptr;
     // simlint-transient(construction-time configuration: capture and
     // restore worlds are built from the same NvramConfig)
@@ -249,12 +277,21 @@ class Imc
     std::vector<Channel> channels;
     // simlint-transient(a pending fence implies outstanding writes,
     // which quiescent() -- the snapshot precondition -- rules out)
-    std::vector<RequestPtr> pendingFences;
+    std::vector<RequestHandle> pendingFences;
     // simlint-transient(provably false at capture: the fence poll
     // only runs while pendingFences is non-empty)
     bool fencePollScheduled = false;
 
     StatGroup statGroup;
+    // simlint-transient(cached pointer into statGroup, which is
+    // serialized; re-resolved after restoreFrom)
+    StatScalar *sReads = nullptr;
+    // simlint-transient(cached pointer into statGroup; re-resolved
+    // after restoreFrom)
+    StatScalar *sWrites = nullptr;
+    // simlint-transient(cached pointer into statGroup; re-resolved
+    // after restoreFrom)
+    StatScalar *sFences = nullptr;
 
     obs::TraceRecorder *tracer = nullptr;
 };

@@ -75,11 +75,7 @@ Lsq::acceptWrite(Addr addr)
                  "acceptWrite without room (%zu entries, capacity %u)",
                  numEntries, cfg.lsqEntries);
 
-    Group &g = groups[block];
-    if (g.presentMask == 0 && !g.draining) {
-        g.block = block;
-        g.oldest = now;
-    }
+    Group &g = openGroup(block);
     g.presentMask |= (1u << lane);
     g.lastTouch = now;
     ++numEntries;
@@ -96,6 +92,29 @@ Lsq::acceptWrite(Addr addr)
     // bus when random traffic never completes a block.
     if (numEntries >= cfg.lsqEntries - cfg.lsqEntries / 8)
         scheduleDrainCheck(now);
+}
+
+Lsq::Group &
+Lsq::openGroup(Addr block)
+{
+    Tick now = eventq.curTick();
+    if (!freeGroups.empty()) {
+        auto nh = std::move(freeGroups.back());
+        freeGroups.pop_back();
+        nh.key() = block;
+        Group &g = nh.mapped();
+        g.block = block;
+        g.presentMask = 0;
+        g.oldest = now;
+        g.lastTouch = now;
+        g.sealed = false;
+        g.draining = false;
+        return groups.insert(std::move(nh)).position->second;
+    }
+    Group &g = groups[block];
+    g.block = block;
+    g.oldest = now;
+    return g;
 }
 
 bool
@@ -243,7 +262,11 @@ Lsq::startGroupDrain(Group &g)
     // concurrent writes to the same block open a fresh group, and
     // its entries free immediately for the bus to refill.
     numEntries -= lines;
-    groups.erase(block);
+    // Recycle the map node (and its waiter-vector capacity) instead
+    // of freeing it: the next group open reuses it allocation-free.
+    auto nh = groups.extract(block);
+    nh.mapped().hazardWaiters.clear();
+    freeGroups.push_back(std::move(nh));
     ++drainLatch;
     Tick drain_start = eventq.curTick();
     if (tracer) [[unlikely]]

@@ -145,6 +145,10 @@ class Lsq
     void drain();
     void startGroupDrain(Group &g);
 
+    /** Open a fresh group for @p block, reusing a recycled map node
+     *  (and its hazard-waiter capacity) when one is available. */
+    Group &openGroup(Addr block);
+
     /** Recount entries from the present masks (audits only). */
     std::size_t countedEntries() const;
 
@@ -157,6 +161,11 @@ class Lsq
     // simlint-transient(empty at capture: snapshotTo REQUIREs
     // writeQuiescent and numEntries == 0)
     std::map<Addr, Group> groups; ///< Ordered: stable iteration.
+    /** Extracted map nodes recycled between group open and drain, so
+     *  steady-state write traffic churns no map-node allocations. */
+    // simlint-transient(a pure allocation cache: holds no simulated
+    // state, only empty recycled nodes)
+    std::vector<std::map<Addr, Group>::node_type> freeGroups;
     // simlint-transient(provably 0 at capture, REQUIREd by
     // snapshotTo)
     std::size_t numEntries = 0;

@@ -46,7 +46,7 @@ XPointMedia::kick(unsigned pi)
     // Demand reads outrank writes outrank background fills: a
     // pointer-chasing critical chunk must not queue behind the
     // previous miss's background fill.
-    std::deque<Op> *q = nullptr;
+    FifoRing<Op> *q = nullptr;
     if (!p.demand.empty())
         q = &p.demand;
     else if (!p.writes.empty())
@@ -70,11 +70,18 @@ XPointMedia::kick(unsigned pi)
                                   : (op.fill ? lblFill : lblRead),
                          start, finish, op.addr);
     }
-    eventq.schedule(finish, [this, pi, finish,
+    // Not capturing `finish`: freeAt only advances in kick() under
+    // !busy, so it still holds this op's finish tick when the
+    // completion runs -- and the capture stays within the event
+    // kernel's inline budget (DoneCallback's 16-byte alignment would
+    // otherwise pad the capture past it).
+    eventq.schedule(finish, [this, pi,
                              done = std::move(op.done)]() mutable {
-        partitions[pi].busy = false;
+        Partition &p = partitions[pi];
+        Tick end = p.freeAt;
+        p.busy = false;
         if (done)
-            done(finish);
+            done(end);
         kick(pi);
     });
 }

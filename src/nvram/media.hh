@@ -16,11 +16,11 @@
 #define VANS_NVRAM_MEDIA_HH
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
 #include "common/event_queue.hh"
+#include "common/fifo_ring.hh"
 #include "common/inplace_function.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -118,13 +118,13 @@ class XPointMedia
         bool busy = false;
         // simlint-transient(queued ops, empty at capture by the
         // pendingOps REQUIRE)
-        std::deque<Op> demand;
+        FifoRing<Op> demand;
         // simlint-transient(queued ops, empty at capture by the
         // pendingOps REQUIRE)
-        std::deque<Op> writes;
+        FifoRing<Op> writes;
         // simlint-transient(queued ops, empty at capture by the
         // pendingOps REQUIRE)
-        std::deque<Op> fills;
+        FifoRing<Op> fills;
         // simlint-transient(trace wiring re-established by
         // attachTracer in the restored world)
         std::uint16_t traceTrack = 0; ///< Valid while tracer set.

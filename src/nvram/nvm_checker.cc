@@ -178,14 +178,15 @@ Verifier::Verifier(const EventQueue &eq, const NvramConfig &cfg,
 {}
 
 void
-Verifier::onIssue(const RequestPtr &req, VansSystem &sys)
+Verifier::onIssue(Request &req, VansSystem &sys)
 {
-    lifeChecker.onIssue(*req);
-    auto prev = std::move(req->onComplete);
-    req->onComplete = [this, &sys,
-                       prev = std::move(prev)](Request &r) {
+    lifeChecker.onIssue(req);
+    auto prev = std::move(req.onComplete);
+    req.onComplete = [this, &sys,
+                      prev = std::move(prev)](Request &r) mutable {
         lifeChecker.onRetire(r);
         invChecker.audit(sys);
+        // prev may release the handle; nothing runs after it.
         if (prev)
             prev(r);
     };

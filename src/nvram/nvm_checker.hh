@@ -126,7 +126,7 @@ class Verifier
      * checker and hooks its completion callback so retirement is
      * observed and a full-system audit runs at every completion.
      */
-    void onIssue(const RequestPtr &req, VansSystem &sys);
+    void onIssue(Request &req, VansSystem &sys);
 
     /** End-of-run checks; @p queue_drained as in the checkers. */
     void finalCheck(VansSystem &sys, bool queue_drained);

@@ -15,9 +15,10 @@ VansSystem::VansSystem(EventQueue &eq, const NvramConfig &config,
     : MemorySystem(eq),
       cfg(config),
       sysName(std::move(name)),
-      imcModel(eq, config, sysName + ".imc"),
+      imcModel(eq, reqPool, config, sysName + ".imc"),
       reqStats(sysName + ".requests"),
-      kernelStats(sysName + ".kernel")
+      kernelStats(sysName + ".kernel"),
+      poolStats(sysName + ".reqpool")
 {
     initObservers();
 }
@@ -28,9 +29,10 @@ VansSystem::VansSystem(ShardedKernel &kernel, const NvramConfig &config,
       cfg(config),
       sysName(std::move(name)),
       kern(&kernel),
-      imcModel(kernel, config, sysName + ".imc"),
+      imcModel(kernel, reqPool, config, sysName + ".imc"),
       reqStats(sysName + ".requests"),
-      kernelStats(sysName + ".kernel")
+      kernelStats(sysName + ".kernel"),
+      poolStats(sysName + ".reqpool")
 {
     initObservers();
 }
@@ -88,20 +90,23 @@ VansSystem::~VansSystem()
 }
 
 void
-VansSystem::issue(RequestPtr req)
+VansSystem::issue(RequestHandle h)
 {
-    req->id = nextRequestId();
-    req->issueTick = eventq.curTick();
+    Request &req = reqPool.get(h);
+    req.id = nextRequestId();
+    req.issueTick = eventq.curTick();
     if (verif)
         verif->onIssue(req, *this);
     if (rec) [[unlikely]] {
-        rec->onIssue(*req, req->issueTick);
-        // Wrap completion to close the hop list and sample the
-        // latency distribution. Allocation here is fine: this path
-        // only runs in traced (observability) runs.
-        auto inner = std::move(req->onComplete);
-        req->onComplete = [this, inner = std::move(inner)](
-                              Request &r) mutable {
+        // Attach the slot's recycled hop log before recording the
+        // issue. The wrapper spills the inner callback to the heap;
+        // that is fine -- this path only runs in traced
+        // (observability) runs.
+        req.trace = &reqPool.traceFor(h);
+        rec->onIssue(req, req.issueTick);
+        auto inner = std::move(req.onComplete);
+        req.onComplete = [this, inner = std::move(inner)](
+                             Request &r) mutable {
             rec->onRetire(r, r.completeTick);
             const char *dist = isRead(r.op) ? "read_latency_ns"
                                : isWrite(r.op)
@@ -113,18 +118,18 @@ VansSystem::issue(RequestPtr req)
                 inner(r);
         };
     }
-    switch (req->op) {
+    switch (req.op) {
       case MemOp::Read:
       case MemOp::ReadNT:
-        imcModel.issueRead(req);
+        imcModel.issueRead(h);
         break;
       case MemOp::Write:
       case MemOp::WriteNT:
       case MemOp::Clwb:
-        imcModel.issueWrite(req);
+        imcModel.issueWrite(h);
         break;
       case MemOp::Fence:
-        imcModel.issueFence(req);
+        imcModel.issueFence(h);
         break;
     }
 }
@@ -158,6 +163,11 @@ VansSystem::metricsInto(MetricsRegistry &reg)
     if (kern)
         kern->statsInto(kernelStats);
     reg.add(kernelStats);
+    // Pool counters are deterministic for any kernel thread count:
+    // slots are allocated and released core-side only.
+    poolStats.reset();
+    reqPool.statsInto(poolStats);
+    reg.add(poolStats);
     if (kern) {
         if (chanKernelStats.empty()) {
             for (unsigned i = 0; i < kern->numChannels(); ++i) {
@@ -178,6 +188,7 @@ VansSystem::snapshotTo(snapshot::StateSink &sink) const
 {
     sink.tag("vans");
     sink.u64(lastRequestId());
+    reqPool.snapshotTo(sink);
     imcModel.snapshotTo(sink);
 }
 
@@ -186,6 +197,7 @@ VansSystem::restoreFrom(snapshot::StateSource &src)
 {
     src.tag("vans");
     setLastRequestId(src.u64());
+    reqPool.restoreFrom(src);
     imcModel.restoreFrom(src);
 }
 

@@ -42,7 +42,7 @@ class VansSystem : public MemorySystem
                std::string name = "vans");
     ~VansSystem() override;
 
-    void issue(RequestPtr req) override;
+    void issue(RequestHandle h) override;
 
     /** Steps the sharded kernel when attached, else the queue. */
     bool step() override;
@@ -152,6 +152,11 @@ class VansSystem : public MemorySystem
     // simlint-transient(derived view rebuilt by metricsInto from the
     // live shard queues on every export)
     std::vector<std::unique_ptr<StatGroup>> chanKernelStats;
+
+    /** Request-pool counters, refreshed on each export. */
+    // simlint-transient(derived view: metricsInto rebuilds it from
+    // the pool counters on every export)
+    StatGroup poolStats;
 };
 
 } // namespace vans::nvram

@@ -409,15 +409,24 @@ TEST(Imc, WpqHazardBurstReleasedByOneDrain)
     unsigned completed = 0;
     for (unsigned round = 0; round < 2; ++round) {
         Addr line = static_cast<Addr>(round) * 64;
-        auto w = makeRequest(line, MemOp::WriteNT);
-        w->onComplete = [&completed](Request &) { ++completed; };
+        RequestPool &pool = f.sys.pool();
+        auto w = f.sys.makeRequest(line, MemOp::WriteNT);
+        f.sys.request(w).onComplete =
+            [&completed, &pool, w](Request &) {
+                ++completed;
+                pool.release(w);
+            };
         f.sys.issue(w);
         // Issued the same tick as the write, the reads' arrival
         // events run after the write's (seq-FIFO), so each sees the
         // line held in the WPQ and parks on it.
         for (unsigned i = 0; i < kReaders; ++i) {
-            auto r = makeRequest(line, MemOp::ReadNT);
-            r->onComplete = [&completed](Request &) { ++completed; };
+            auto r = f.sys.makeRequest(line, MemOp::ReadNT);
+            f.sys.request(r).onComplete =
+                [&completed, &pool, r](Request &) {
+                    ++completed;
+                    pool.release(r);
+                };
             f.sys.issue(r);
         }
         // Step, don't run(): the AIT buffer's refresh timer keeps

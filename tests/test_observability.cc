@@ -39,21 +39,26 @@ tracedConfig()
     return cfg;
 }
 
-/** Issue one op and run the queue until it completes. */
-RequestPtr
+/**
+ * Issue one op and run the queue until it completes. Returns the
+ * still-held handle so the test can inspect the retired request
+ * (the pool slot is not recycled until the handle is released, and
+ * these short-lived worlds never need the slot back).
+ */
+RequestHandle
 issueAndRun(EventQueue &eq, MemorySystem &sys, Addr addr, MemOp op)
 {
-    auto req = makeRequest(addr, op);
+    RequestHandle h = sys.makeRequest(addr, op);
     bool done = false;
-    req->onComplete = [&done](Request &) { done = true; };
-    sys.issue(req);
+    sys.request(h).onComplete = [&done](Request &) { done = true; };
+    sys.issue(h);
     while (!done) {
         if (!eq.step()) {
             ADD_FAILURE() << "queue drained before completion";
             break;
         }
     }
-    return req;
+    return h;
 }
 
 } // namespace
@@ -64,9 +69,9 @@ TEST(Tracing, DisabledByDefault)
 {
     vans::test::VansFixture f(vans::test::smallConfig());
     EXPECT_EQ(f.sys.tracer(), nullptr);
-    auto req = issueAndRun(f.eq, f.sys, 0x1000, MemOp::ReadNT);
-    // The untraced path must not allocate hop state on the request.
-    EXPECT_EQ(req->trace, nullptr);
+    auto h = issueAndRun(f.eq, f.sys, 0x1000, MemOp::ReadNT);
+    // The untraced path must not attach hop state to the request.
+    EXPECT_EQ(f.sys.request(h).trace, nullptr);
 }
 
 // ---- Lifecycle hops -------------------------------------------------
@@ -77,9 +82,10 @@ TEST(Tracing, HopsFollowLifecycleStageOrder)
     ASSERT_NE(f.sys.tracer(), nullptr);
 
     for (MemOp op : {MemOp::ReadNT, MemOp::WriteNT}) {
-        auto req = issueAndRun(f.eq, f.sys, 0x4040, op);
-        ASSERT_NE(req->trace, nullptr) << memOpName(op);
-        const auto &hops = req->trace->hops;
+        auto h = issueAndRun(f.eq, f.sys, 0x4040, op);
+        Request &req = f.sys.request(h);
+        ASSERT_NE(req.trace, nullptr) << memOpName(op);
+        const auto &hops = req.trace->hops;
         // Exactly the checker's stage walk, in its only legal order.
         ASSERT_EQ(hops.size(), 4u) << memOpName(op);
         EXPECT_EQ(hops[0].stage, verify::ReqStage::Issued);
@@ -93,8 +99,8 @@ TEST(Tracing, HopsFollowLifecycleStageOrder)
                     << memOpName(op);
             }
         }
-        EXPECT_EQ(hops.front().enter, req->issueTick);
-        EXPECT_EQ(hops.back().exit, req->completeTick);
+        EXPECT_EQ(hops.front().enter, req.issueTick);
+        EXPECT_EQ(hops.back().exit, req.completeTick);
     }
 }
 
@@ -105,20 +111,21 @@ TEST(Tracing, RetiredRequestsEmitAsyncSlicePairs)
     ASSERT_NE(rec, nullptr);
     rec->clear();
 
-    auto req = issueAndRun(f.eq, f.sys, 0x8080, MemOp::ReadNT);
+    auto h = issueAndRun(f.eq, f.sys, 0x8080, MemOp::ReadNT);
+    Request &req = f.sys.request(h);
 
     std::size_t begins = 0;
     std::size_t ends = 0;
     for (const auto &e : rec->events()) {
         if (e.kind == obs::TraceEvent::Kind::AsyncBegin) {
             ++begins;
-            EXPECT_EQ(e.id, req->id);
+            EXPECT_EQ(e.id, req.id);
         }
         if (e.kind == obs::TraceEvent::Kind::AsyncEnd)
             ++ends;
     }
     // One begin/end pair per hop.
-    EXPECT_EQ(begins, req->trace->hops.size());
+    EXPECT_EQ(begins, req.trace->hops.size());
     EXPECT_EQ(ends, begins);
 }
 

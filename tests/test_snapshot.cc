@@ -433,8 +433,7 @@ TEST(ForkFidelityDeathTest, CapturingNonQuiescentWorldPanics)
     EventQueue eq;
     nvram::VansSystem sys(eq, vans::test::smallConfig());
     // Issue a request and do NOT step the queue: in flight.
-    auto req = makeRequest(0, MemOp::ReadNT);
-    sys.issue(req);
+    sys.issue(sys.makeRequest(0, MemOp::ReadNT));
     ASSERT_FALSE(sys.quiescent());
     EXPECT_DEATH(snapshot::WorldSnapshot::capture(eq, sys),
                  "non-quiescent");

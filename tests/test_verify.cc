@@ -100,12 +100,16 @@ TEST(EventQueueDeath, PastTickScheduleIsRejected)
 namespace
 {
 
-RequestPtr
+// The lifecycle checker is id-keyed and never owns requests, so a
+// plain stack descriptor is all these unit tests need.
+Request
 issuedReq(std::uint64_t id, Tick issue_tick)
 {
-    auto r = makeRequest(0x1000, MemOp::ReadNT);
-    r->id = id;
-    r->issueTick = issue_tick;
+    Request r;
+    r.addr = 0x1000;
+    r.op = MemOp::ReadNT;
+    r.id = id;
+    r.issueTick = issue_tick;
     return r;
 }
 
@@ -118,10 +122,10 @@ TEST(Lifecycle, CleanRunHasNoFindings)
     verify::RequestLifecycleChecker chk(eq, mon);
 
     auto r = issuedReq(1, 0);
-    chk.onIssue(*r);
-    chk.onQueued(*r);
-    chk.onServiced(*r);
-    chk.onRetire(*r);
+    chk.onIssue(r);
+    chk.onQueued(r);
+    chk.onServiced(r);
+    chk.onRetire(r);
     chk.finalCheck(true);
 
     EXPECT_TRUE(mon.clean());
@@ -138,9 +142,9 @@ TEST(Lifecycle, DoubleRetireCaught)
     verify::RequestLifecycleChecker chk(eq, mon);
 
     auto r = issuedReq(1, 0);
-    chk.onIssue(*r);
-    chk.onRetire(*r);
-    chk.onRetire(*r); // The bug: completion callback fired twice.
+    chk.onIssue(r);
+    chk.onRetire(r);
+    chk.onRetire(r); // The bug: completion callback fired twice.
 
     EXPECT_EQ(mon.countRule("double-retire"), 1u);
     EXPECT_EQ(mon.reported(), 1u);
@@ -156,9 +160,9 @@ TEST(Lifecycle, CompleteBeforeIssueCaught)
     verify::RequestLifecycleChecker chk(eq, mon);
 
     auto r = issuedReq(1, 400);
-    chk.onIssue(*r);
-    r->completeTick = 300; // Before its own issue tick.
-    chk.onRetire(*r);
+    chk.onIssue(r);
+    r.completeTick = 300; // Before its own issue tick.
+    chk.onRetire(r);
 
     EXPECT_EQ(mon.countRule("complete-before-issue"), 1u);
 }
@@ -170,9 +174,9 @@ TEST(Lifecycle, StaleIdCaught)
     verify::RequestLifecycleChecker chk(eq, mon);
 
     auto a = issuedReq(5, 0);
-    chk.onIssue(*a);
+    chk.onIssue(a);
     auto b = issuedReq(5, 0); // Re-used id.
-    chk.onIssue(*b);
+    chk.onIssue(b);
 
     EXPECT_EQ(mon.countRule("stale-id"), 1u);
     EXPECT_EQ(mon.countRule("double-issue"), 1u);
@@ -186,9 +190,9 @@ TEST(Lifecycle, StageRegressionCaught)
     verify::RequestLifecycleChecker chk(eq, mon);
 
     auto r = issuedReq(1, 0);
-    chk.onIssue(*r);
-    chk.onServiced(*r);
-    chk.onQueued(*r); // Data returned, then back into a queue?
+    chk.onIssue(r);
+    chk.onServiced(r);
+    chk.onQueued(r); // Data returned, then back into a queue?
 
     EXPECT_EQ(mon.countRule("stage-regression"), 1u);
 }
@@ -200,7 +204,7 @@ TEST(Lifecycle, LostRequestCaughtOnDrain)
     verify::RequestLifecycleChecker chk(eq, mon);
 
     auto r = issuedReq(1, 0);
-    chk.onIssue(*r);
+    chk.onIssue(r);
 
     chk.finalCheck(/*queue_drained=*/false);
     EXPECT_TRUE(mon.clean()); // Cut-off runs keep requests in flight.

@@ -1,0 +1,30 @@
+#ifndef FIXTURE_NVRAM_ISSUER_HH
+#define FIXTURE_NVRAM_ISSUER_HH
+
+#include <memory>
+
+namespace vans
+{
+struct Request;
+} // namespace vans
+
+namespace vans::nvram
+{
+
+class Issuer
+{
+  public:
+    void
+    track(std::uint64_t handle_bits)
+    {
+        inflight_bits = handle_bits;
+    }
+
+  private:
+    std::shared_ptr<Request> inflight;
+    std::uint64_t inflight_bits = 0;
+};
+
+} // namespace vans::nvram
+
+#endif

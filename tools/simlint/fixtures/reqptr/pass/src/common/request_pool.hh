@@ -1,0 +1,24 @@
+#ifndef FIXTURE_COMMON_REQUEST_POOL_HH
+#define FIXTURE_COMMON_REQUEST_POOL_HH
+
+#include <memory>
+
+namespace vans
+{
+
+struct Request;
+
+// The pool implementation files are the one sanctioned home for
+// request storage details -- the rule exempts them by path.
+class RequestPool
+{
+  public:
+    using LegacyPtr = std::shared_ptr<Request>;
+
+  private:
+    std::shared_ptr<Request> scratch;
+};
+
+} // namespace vans
+
+#endif

@@ -1,0 +1,24 @@
+#ifndef FIXTURE_NVRAM_ISSUER_HH
+#define FIXTURE_NVRAM_ISSUER_HH
+
+#include <cstdint>
+
+namespace vans::nvram
+{
+
+class Issuer
+{
+  public:
+    void
+    track(std::uint64_t handle_bits)
+    {
+        inflight = handle_bits;
+    }
+
+  private:
+    std::uint64_t inflight = 0; ///< RequestHandle::bits.
+};
+
+} // namespace vans::nvram
+
+#endif

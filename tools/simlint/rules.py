@@ -27,6 +27,10 @@ Declaration-aware rules (v2):
                  make_shared in code marked simlint-hot (constructors
                  and snapshot/stats/trace plumbing are automatically
                  cold).
+  reqptr         no shared_ptr<Request> ownership outside the pool
+                 implementation: requests live in the slab-backed
+                 RequestPool and are addressed by generation-checked
+                 RequestHandle values.
   annotation     malformed simlint annotations (a suppression without
                  a written reason is itself a finding).
 """
@@ -614,6 +618,44 @@ def rule_hotpath(project):
 
 
 # --------------------------------------------------------------- #
+# reqptr                                                           #
+# --------------------------------------------------------------- #
+
+# The pool implementation is the single place allowed to talk about
+# request storage; everything else holds RequestHandle values.
+REQPTR_OWNER_FILES = (
+    "src/common/request_pool.hh",
+    "src/common/request_pool.cc",
+)
+REQPTR_RE = re.compile(
+    r"\b(?:std::\s*)?(?:shared_ptr|weak_ptr)\s*<\s*(?:vans::)?"
+    r"Request\s*>"
+    r"|\bmake_shared\s*<\s*(?:vans::)?Request\s*[>,)]")
+
+
+def rule_reqptr(project):
+    out = []
+    for sf in project.files:
+        if sf.rel in REQPTR_OWNER_FILES:
+            continue
+        ai = project.annots[sf.rel]
+        for lineno, code in enumerate(sf.code_lines, 1):
+            m = REQPTR_RE.search(code)
+            if m and not ai.allowed("reqptr", lineno):
+                out.append(Finding(
+                    "reqptr", sf.rel, lineno,
+                    f"'{m.group(0)}' outside the pool "
+                    "implementation: requests are pool slots owned "
+                    "by RequestPool and addressed by generation-"
+                    "checked RequestHandle values -- shared_ptr "
+                    "ownership reintroduces a control-block "
+                    "allocation and refcount per request on the "
+                    "issue path. Hold a RequestHandle (or annotate "
+                    "with simlint-allow(reqptr: reason))"))
+    return out
+
+
+# --------------------------------------------------------------- #
 # annotation hygiene                                               #
 # --------------------------------------------------------------- #
 
@@ -654,6 +696,9 @@ ALL_RULES = {
                  "upward includes are fatal"),
     "hotpath": (rule_hotpath,
                 "No heap allocation in code marked simlint-hot"),
+    "reqptr": (rule_reqptr,
+               "Requests are addressed by pooled RequestHandle, "
+               "never owned via shared_ptr outside the pool"),
     "annotation": (rule_annotation,
                    "simlint suppressions carry a written reason"),
 }
