@@ -52,6 +52,7 @@ DramMainMemory::issue(RequestHandle h)
       case MemOp::Write:
       case MemOp::WriteNT:
       case MemOp::Clwb:
+      case MemOp::Clflushopt:
         statGroup.scalar("writes").inc();
         if (writesInFlight >= p.maxWrites) {
             writeWaiting.push_back(h);
@@ -60,6 +61,9 @@ DramMainMemory::issue(RequestHandle h)
         startWrite(h);
         break;
       case MemOp::Fence:
+      case MemOp::Sfence:
+        // DRAM baselines have no ADR boundary: an sfence degenerates
+        // to the full write-drain fence.
         pendingFences.push_back(h);
         checkFences();
         break;

@@ -63,4 +63,13 @@ Hierarchy::clean(Addr addr)
     return dirty;
 }
 
+bool
+Hierarchy::invalidate(Addr addr)
+{
+    bool dirty = l1Cache.invalidate(addr);
+    dirty = l2Cache.invalidate(addr) || dirty;
+    dirty = l3Cache.invalidate(addr) || dirty;
+    return dirty;
+}
+
 } // namespace vans::cache

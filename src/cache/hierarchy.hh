@@ -49,6 +49,11 @@ class Hierarchy
      *  toward memory is due. */
     bool clean(Addr addr);
 
+    /** clflushopt: evict the line from every level. @return true if
+     *  a writeback toward memory is due (the line was dirty
+     *  somewhere). */
+    bool invalidate(Addr addr);
+
     Cache &l1() { return l1Cache; }
     Cache &l2() { return l2Cache; }
     Cache &llc() { return l3Cache; }

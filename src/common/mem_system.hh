@@ -33,6 +33,12 @@ namespace vans::obs
 class TraceRecorder;
 } // namespace vans::obs
 
+namespace vans::persist
+{
+class MediaImage;
+class PersistenceChecker;
+} // namespace vans::persist
+
 namespace vans
 {
 
@@ -150,6 +156,73 @@ class MemorySystem
                      "restoreFrom on a system without snapshot "
                      "support (%s)",
                      name().c_str());
+    }
+
+    // ---- Persistence domain (common/crash.hh) ----------------------
+
+    /** True when the model exposes an ADR durability boundary (the
+     *  crash harness refuses systems that do not). */
+    virtual bool persistSupported() const { return false; }
+
+    /**
+     * Start tracking the per-line durable versions the crash harness
+     * captures on powerFail(). Off by default: the tracking map is
+     * the one piece of the persistence model that allocates, and the
+     * steady-state request path stays allocation-free without it.
+     */
+    virtual void
+    enablePersistTracking()
+    {
+        VANS_REQUIRE("mem-system", eventq.curTick(), false,
+                     "enablePersistTracking on a system without "
+                     "persist support (%s)",
+                     name().c_str());
+    }
+
+    /**
+     * Cut power now: drain only the ADR domain (WPQ contents are
+     * guaranteed to reach media) into @p out and mark this world
+     * failed. In-flight requests never complete; a failed world
+     * accepts no further issues and skips its teardown audits. May
+     * only be called once, with tracking enabled.
+     */
+    virtual void
+    powerFail(persist::MediaImage &out)
+    {
+        (void)out;
+        VANS_REQUIRE("mem-system", eventq.curTick(), false,
+                     "powerFail on a system without persist support "
+                     "(%s)",
+                     name().c_str());
+    }
+
+    /** True once powerFail() ran on this world. */
+    virtual bool powerFailed() const { return false; }
+
+    /**
+     * Seed a fresh (never-issued-to) world's durable media state
+     * from a captured image -- the restart half of a crash/recovery
+     * cycle. Implies enablePersistTracking().
+     */
+    virtual void
+    loadDurableImage(const persist::MediaImage &image)
+    {
+        (void)image;
+        VANS_REQUIRE("mem-system", eventq.curTick(), false,
+                     "loadDurableImage on a system without persist "
+                     "support (%s)",
+                     name().c_str());
+    }
+
+    /**
+     * The persistence-discipline checker of this system's verifier,
+     * or nullptr when the system runs unverified (or has none). The
+     * crash harness feeds cache-level events through this.
+     */
+    virtual persist::PersistenceChecker *
+    persistenceChecker()
+    {
+        return nullptr;
     }
 
   protected:

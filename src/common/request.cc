@@ -17,8 +17,12 @@ memOpName(MemOp op)
         return "write-nt";
       case MemOp::Clwb:
         return "clwb";
+      case MemOp::Clflushopt:
+        return "clflushopt";
       case MemOp::Fence:
         return "fence";
+      case MemOp::Sfence:
+        return "sfence";
     }
     return "?";
 }

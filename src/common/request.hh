@@ -29,12 +29,16 @@ namespace vans
 /** Kinds of memory operations a front end can issue. */
 enum class MemOp : std::uint8_t
 {
-    Read,      ///< Regular (cacheable) load.
-    ReadNT,    ///< Non-temporal load (bypasses CPU caches).
-    Write,     ///< Regular store / cache writeback.
-    WriteNT,   ///< Non-temporal store (bypasses CPU caches).
-    Clwb,      ///< Cache-line writeback towards the ADR domain.
-    Fence,     ///< Ordering / persistence fence (mfence + sfence).
+    Read,       ///< Regular (cacheable) load.
+    ReadNT,     ///< Non-temporal load (bypasses CPU caches).
+    Write,      ///< Regular store / cache writeback.
+    WriteNT,    ///< Non-temporal store (bypasses CPU caches).
+    Clwb,       ///< Cache-line writeback towards the ADR domain.
+    Clflushopt, ///< Writeback + invalidate towards the ADR domain.
+    Fence,      ///< Full fence: write-path quiescence through the
+                ///< DIMM (mfence-and-drain semantics).
+    Sfence,     ///< Store fence: orders prior flushes/NT stores at
+                ///< the ADR boundary (WPQ acceptance), nothing more.
 };
 
 /** @return true for the read-kind operations. */
@@ -44,12 +48,19 @@ isRead(MemOp op)
     return op == MemOp::Read || op == MemOp::ReadNT;
 }
 
-/** @return true for the write-kind operations (incl. clwb). */
+/** @return true for the write-kind operations (incl. the flushes). */
 constexpr bool
 isWrite(MemOp op)
 {
     return op == MemOp::Write || op == MemOp::WriteNT ||
-           op == MemOp::Clwb;
+           op == MemOp::Clwb || op == MemOp::Clflushopt;
+}
+
+/** @return true for the fence-kind operations. */
+constexpr bool
+isFence(MemOp op)
+{
+    return op == MemOp::Fence || op == MemOp::Sfence;
 }
 
 /** Human-readable name of a MemOp. */

@@ -242,10 +242,22 @@ CpuCore::run(trace::TraceSource &src, std::uint64_t max_insts)
             coreTime += cycle / p.width;
             break;
           }
-          case trace::InstType::Fence: {
+          case trace::InstType::Clflushopt: {
+            out.instructions += 1;
+            if (caches.invalidate(inst.addr))
+                issueWrite(alignDown(inst.addr, cacheLineSize),
+                           MemOp::Clflushopt);
+            coreTime += cycle / p.width;
+            break;
+          }
+          case trace::InstType::Fence:
+          case trace::InstType::Sfence: {
             out.instructions += 1;
             syncTo(coreTime);
-            RequestHandle h = mem.makeRequest(0, MemOp::Fence, 0);
+            MemOp op = inst.type == trace::InstType::Fence
+                           ? MemOp::Fence
+                           : MemOp::Sfence;
+            RequestHandle h = mem.makeRequest(0, op, 0);
             bool done = false;
             Tick at = 0;
             mem.request(h).onComplete =

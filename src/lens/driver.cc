@@ -16,6 +16,8 @@ Driver::Driver(MemorySystem &memory)
         lblRead = tracer->label("op_rd");
         lblWrite = tracer->label("op_wr");
         lblFence = tracer->label("op_fence");
+        lblFlush = tracer->label("op_flush");
+        lblSfence = tracer->label("op_sfence");
     }
 }
 
@@ -101,6 +103,82 @@ Driver::fence()
     if (tracer) [[unlikely]]
         tracer->span(traceTrack, lblFence, start, start + lat);
     return lat;
+}
+
+Tick
+Driver::syncOp(Addr addr, MemOp op, std::uint32_t size,
+               std::uint16_t lbl, bool span_addr)
+{
+    RequestHandle h = mem.makeRequest(addr, op, size);
+    bool done = false;
+    Tick lat = 0;
+    mem.request(h).onComplete = [&done, &lat](Request &r) {
+        done = true;
+        lat = r.latency();
+    };
+    Tick start = eq.curTick();
+    mem.issue(h);
+    runUntil([&done] { return done; });
+    mem.pool().release(h);
+    if (tracer) [[unlikely]] {
+        if (span_addr)
+            tracer->spanAddr(traceTrack, lbl, start, start + lat,
+                             addr);
+        else
+            tracer->span(traceTrack, lbl, start, start + lat);
+    }
+    return lat;
+}
+
+Tick
+Driver::clwb(Addr addr)
+{
+    return syncOp(addr, MemOp::Clwb, cacheLineSize, lblFlush, true);
+}
+
+Tick
+Driver::clflushopt(Addr addr)
+{
+    return syncOp(addr, MemOp::Clflushopt, cacheLineSize, lblFlush,
+                  true);
+}
+
+Tick
+Driver::sfence()
+{
+    return syncOp(0, MemOp::Sfence, 0, lblSfence, false);
+}
+
+Tick
+Driver::persistBlockNt(Addr base, std::uint32_t block_bytes,
+                       unsigned outstanding, double issue_gap_ns)
+{
+    Tick start = eq.curTick();
+    unsigned lines = block_bytes / cacheLineSize;
+    std::vector<Addr> addrs;
+    addrs.reserve(lines);
+    for (unsigned i = 0; i < lines; ++i)
+        addrs.push_back(base + static_cast<Addr>(i) * cacheLineSize);
+    streamOps(addrs, MemOp::WriteNT, outstanding,
+              nsToTicks(issue_gap_ns));
+    sfence();
+    return eq.curTick() - start;
+}
+
+Tick
+Driver::persistBlockCached(Addr base, std::uint32_t block_bytes,
+                           unsigned outstanding, double issue_gap_ns)
+{
+    Tick start = eq.curTick();
+    unsigned lines = block_bytes / cacheLineSize;
+    std::vector<Addr> addrs;
+    addrs.reserve(lines);
+    for (unsigned i = 0; i < lines; ++i)
+        addrs.push_back(base + static_cast<Addr>(i) * cacheLineSize);
+    streamOps(addrs, MemOp::Clwb, outstanding,
+              nsToTicks(issue_gap_ns));
+    sfence();
+    return eq.curTick() - start;
 }
 
 Tick

@@ -42,6 +42,35 @@ class Driver
     /** Issue a persistence fence and wait. @return latency. */
     Tick fence();
 
+    /** Issue one clwb writeback and wait for ADR acceptance. */
+    Tick clwb(Addr addr);
+
+    /** Issue one clflushopt (writeback + invalidate) and wait. */
+    Tick clflushopt(Addr addr);
+
+    /**
+     * Issue an sfence and wait: ADR-acceptance ordering only, the
+     * persistence barrier of the flush/NT-store discipline. Strictly
+     * weaker (and cheaper) than fence().
+     */
+    Tick sfence();
+
+    /**
+     * Persist a block the NT way: stream NT stores over it, then
+     * sfence. @return total elapsed ticks -- the cost-model
+     * regression tests pin the ntstore-vs-clwb crossover with this
+     * pair.
+     */
+    Tick persistBlockNt(Addr base, std::uint32_t block_bytes,
+                        unsigned outstanding = 8,
+                        double issue_gap_ns = 6.0);
+
+    /** Persist a block the cached way: clwb every line, then
+     *  sfence. */
+    Tick persistBlockCached(Addr base, std::uint32_t block_bytes,
+                            unsigned outstanding = 8,
+                            double issue_gap_ns = 6.0);
+
     /**
      * Issue reads for every address with at most @p mlp in flight.
      * @return total elapsed ticks from first issue to last data.
@@ -82,6 +111,10 @@ class Driver
     Tick now() const { return eq.curTick(); }
 
   private:
+    /** Shared body of the synchronous single-request ops. */
+    Tick syncOp(Addr addr, MemOp op, std::uint32_t size,
+                std::uint16_t lbl, bool span_addr);
+
     MemorySystem &mem;
     EventQueue &eq;
 
@@ -96,6 +129,8 @@ class Driver
     std::uint16_t lblRead = 0;
     std::uint16_t lblWrite = 0;
     std::uint16_t lblFence = 0;
+    std::uint16_t lblFlush = 0;
+    std::uint16_t lblSfence = 0;
 };
 
 } // namespace vans::lens

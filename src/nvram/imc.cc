@@ -1,5 +1,7 @@
 #include "nvram/imc.hh"
 
+#include <algorithm>
+
 #include "common/check.hh"
 #include "common/logging.hh"
 #include "common/snapshot.hh"
@@ -55,6 +57,8 @@ Imc::buildChannels(const std::string &name)
     sReads = &statGroup.scalar("reads");
     sWrites = &statGroup.scalar("writes");
     sFences = &statGroup.scalar("fences");
+    sSfences = &statGroup.scalar("sfences");
+    sWcPartialDrains = &statGroup.scalar("wc_partial_drains");
 }
 
 void
@@ -196,6 +200,16 @@ Imc::noteServiced(Channel &ch, RequestHandle h)
 void
 Imc::completeWrite(Channel &ch, RequestHandle h)
 {
+    if (persistTracking) [[unlikely]] {
+        // WPQ acceptance IS the durability point: record the version
+        // (request id) this line would carry after an ADR drain.
+        // Channel-side state, so shard-safe in sharded mode.
+        Request &r = pool.get(h);
+        Addr line = alignDown(r.addr, cacheLineSize);
+        std::uint64_t &v = ch.adrVersions[line];
+        if (r.id > v)
+            v = r.id;
+    }
     noteServiced(ch, h);
     Tick when = ch.q->curTick();
     if (!kern) {
@@ -213,17 +227,32 @@ void
 Imc::issueWrite(RequestHandle h)
 {
     sWrites->inc();
-    unsigned ci = dimmOf(pool.get(h).addr);
+    Request &req = pool.get(h);
+    unsigned ci = dimmOf(req.addr);
     Channel &ch = channels[ci];
     ++ch.pendingArrivals;
+    ++ch.pendingWriteArrivals;
+    // NT stores fill write-combining buffers; an sfence cutting the
+    // run at a partial buffer pays the Empirical Guide's drain
+    // penalty (see issueSfence).
+    if (req.op == MemOp::WriteNT)
+        wcFill += req.size;
+    // Flush-induced writebacks leave the cache hierarchy, not the
+    // store buffer: one extra one-way hop versus an NT store (the
+    // Empirical Guide's clwb-vs-ntstore gap).
+    double hop_ns = cfg.coreToImcNs;
+    if (req.op == MemOp::Clwb || req.op == MemOp::Clflushopt)
+        hop_ns += cfg.clwbExtraNs;
     // Core -> uncore -> iMC pipeline before the WPQ probe. The hop is
-    // also the shard lookahead: this schedules one full window ahead,
-    // so the target shard is parked (classic mode: same queue).
+    // also the shard lookahead: this schedules at least one full
+    // window ahead, so the target shard is parked (classic mode:
+    // same queue).
     ch.q->schedule(
-        eventq.curTick() + nsToTicks(cfg.coreToImcNs),
+        eventq.curTick() + nsToTicks(hop_ns),
         [this, ci, h] {
             Channel &c = channels[ci];
             --c.pendingArrivals;
+            --c.pendingWriteArrivals;
             Addr line = alignDown(pool.get(h).addr, cacheLineSize);
             noteQueued(c, h);
 
@@ -489,6 +518,105 @@ Imc::checkFences()
     }
 }
 
+void
+Imc::issueSfence(RequestHandle h)
+{
+    sSfences->inc();
+    if (lifecycle)
+        lifecycle->onQueued(pool.get(h));
+    if (tracer) [[unlikely]]
+        tracer->onQueued(pool.get(h), eventq.curTick());
+    Tick ready = eventq.curTick();
+    // Sfence drains the NT write-combining buffers. A run cut at a
+    // partial cfg.wcBufferBytes buffer pays the partial-drain charge
+    // once -- the reason small NT stores lose to cached writes below
+    // the wcBufferBytes crossover.
+    if (wcFill % cfg.wcBufferBytes != 0) {
+        ready += nsToTicks(cfg.wcPartialDrainNs);
+        sWcPartialDrains->inc();
+    }
+    wcFill = 0;
+    pendingSfences.push_back({h, ready});
+    checkSfences();
+}
+
+void
+Imc::checkSfences()
+{
+    if (pendingSfences.empty())
+        return;
+
+    // Core-side in both modes, like checkFences: in sharded mode this
+    // runs in phase B while the shards are parked, so reading
+    // channel-side counters is race-free. The sfence condition is
+    // strictly weaker than the fence's: every prior write accepted
+    // into a WPQ (ADR reached) -- no WPQ drain, no DIMM seal, no
+    // write-pipeline quiescence.
+    bool adr_quiet = true;
+    for (const auto &ch : channels) {
+        if (ch.pendingWriteArrivals != 0 || !ch.wpqWaiting.empty()) {
+            adr_quiet = false;
+            break;
+        }
+    }
+    if (adr_quiet) {
+        Tick now = eventq.curTick();
+        std::size_t kept = 0;
+        for (PendingSfence &s : pendingSfences) {
+            if (s.readyAt <= now) {
+                if (lifecycle)
+                    lifecycle->onServiced(pool.get(s.h));
+                if (tracer) [[unlikely]]
+                    tracer->onServiced(pool.get(s.h), now);
+                // complete() may release the handle; never touched
+                // again after this call.
+                pool.get(s.h).complete(now);
+            } else {
+                // Still serving the partial WC-drain charge.
+                pendingSfences[kept++] = s;
+            }
+        }
+        pendingSfences.resize(kept);
+        if (pendingSfences.empty())
+            return;
+    }
+    if (!sfencePollScheduled) {
+        sfencePollScheduled = true;
+        eventq.scheduleAfter(nsToTicks(20), [this] {
+            sfencePollScheduled = false;
+            checkSfences();
+        });
+    }
+}
+
+void
+Imc::durableLines(
+    std::vector<std::pair<Addr, std::uint64_t>> &out) const
+{
+    VANS_REQUIRE("imc", eventq.curTick(), persistTracking,
+                 "durableLines without persist tracking enabled");
+    out.clear();
+    // Interleaving routes each line to exactly one channel, so the
+    // per-channel maps are disjoint; a sort gives the deterministic
+    // merged view.
+    for (const Channel &ch : channels) {
+        for (const auto &[line, version] : ch.adrVersions)
+            out.emplace_back(line, version);
+    }
+    std::sort(out.begin(), out.end());
+}
+
+void
+Imc::seedDurable(Addr line, std::uint64_t version)
+{
+    VANS_REQUIRE("imc", eventq.curTick(), persistTracking,
+                 "seedDurable without persist tracking enabled");
+    Channel &ch = channels[dimmOf(line)];
+    std::uint64_t &v = ch.adrVersions[line];
+    if (version > v)
+        v = version;
+}
+
 std::uint64_t
 Imc::channelScalarSum(const std::string &name) const
 {
@@ -502,6 +630,8 @@ bool
 Imc::quiescent() const
 {
     if (!pendingFences.empty() || fencePollScheduled)
+        return false;
+    if (!pendingSfences.empty() || sfencePollScheduled)
         return false;
     for (const auto &ch : channels) {
         if (ch.pendingArrivals != 0 || !ch.wpqLines.empty() ||
@@ -525,6 +655,8 @@ Imc::snapshotTo(snapshot::StateSink &sink) const
     sink.boolean(kern != nullptr);
     if (kern)
         sink.u64(kern->windowLimitTick());
+    sink.boolean(persistTracking);
+    sink.u64(wcFill);
     for (const Channel &ch : channels) {
         sink.u64(ch.bus.freeAt);
         sink.boolean(ch.bus.lastWasWrite);
@@ -533,6 +665,16 @@ Imc::snapshotTo(snapshot::StateSink &sink) const
             ch.q->snapshotTo(sink);
         ch.stats->snapshotTo(sink);
         ch.dimm->snapshotTo(sink);
+        // adrVersions: durable state survives snapshots like it
+        // survives power cuts. Sorted for a deterministic stream.
+        std::vector<std::pair<Addr, std::uint64_t>> adr(
+            ch.adrVersions.begin(), ch.adrVersions.end());
+        std::sort(adr.begin(), adr.end());
+        sink.u64(adr.size());
+        for (const auto &[line, version] : adr) {
+            sink.u64(line);
+            sink.u64(version);
+        }
     }
     statGroup.snapshotTo(sink);
 }
@@ -556,6 +698,8 @@ Imc::restoreFrom(snapshot::StateSource &src)
                  kern ? "sharded" : "classic");
     if (kern)
         kern->setWindowLimitTick(src.u64());
+    persistTracking = src.boolean();
+    wcFill = src.u64();
     for (Channel &ch : channels) {
         ch.bus.freeAt = src.u64();
         ch.bus.lastWasWrite = src.boolean();
@@ -567,6 +711,12 @@ Imc::restoreFrom(snapshot::StateSource &src)
             ch.q->restoreFrom(src);
         ch.stats->restoreFrom(src);
         ch.dimm->restoreFrom(src);
+        ch.adrVersions.clear();
+        std::uint64_t na = src.u64();
+        for (std::uint64_t i = 0; i < na; ++i) {
+            Addr line = src.u64();
+            ch.adrVersions[line] = src.u64();
+        }
         // restoreFrom rebuilt the scalar map: re-resolve the cached
         // hot-path counters.
         cacheStatPointers(ch);
@@ -575,6 +725,8 @@ Imc::restoreFrom(snapshot::StateSource &src)
     sReads = &statGroup.scalar("reads");
     sWrites = &statGroup.scalar("writes");
     sFences = &statGroup.scalar("fences");
+    sSfences = &statGroup.scalar("sfences");
+    sWcPartialDrains = &statGroup.scalar("wc_partial_drains");
 }
 
 } // namespace vans::nvram

@@ -35,6 +35,7 @@
 #define VANS_NVRAM_IMC_HH
 
 #include <memory>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -76,6 +77,40 @@ class Imc
 
     /** Issue a fence (completes at write-path quiescence). */
     void issueFence(RequestHandle h);
+
+    /**
+     * Issue an sfence: completes once every prior write has been
+     * accepted into a WPQ (the ADR boundary) -- strictly weaker than
+     * issueFence, which additionally drains the WPQs and the on-DIMM
+     * pipeline. An sfence cutting an NT-store run at a partial
+     * write-combining buffer pays cfg.wcPartialDrainNs (the
+     * Empirical Guide's small-ntstore punishment).
+     */
+    void issueSfence(RequestHandle h);
+
+    /**
+     * Persistence-domain tracking: record, per channel, the durable
+     * version (request id) of every line accepted into its WPQ. Off
+     * by default -- the version map is the only allocating structure
+     * on the write path, and crash runs are the only consumer.
+     */
+    void enablePersistTracking() { persistTracking = true; }
+    bool persistTrackingEnabled() const { return persistTracking; }
+
+    /**
+     * The durable media image under ADR semantics: every (line,
+     * version) accepted into a WPQ so far, sorted by line. On a
+     * power cut the WPQs drain to media by guarantee, so this is
+     * exactly what survives. Requires tracking enabled; callable at
+     * any tick core-side (a power cut is not a quiescent point).
+     */
+    void durableLines(
+        std::vector<std::pair<Addr, std::uint64_t>> &out) const;
+
+    /** Seed one durable line (restart-from-image path). Implies the
+     *  line's channel version map gains an entry; requires tracking
+     *  enabled. */
+    void seedDurable(Addr line, std::uint64_t version);
 
     NvramDimm &dimm(unsigned i) { return *channels[i].dimm; }
     unsigned numDimms() const
@@ -223,6 +258,19 @@ class Imc
         // it -- the PR-3 pendingArrivals hole is closed by the
         // quiescence gate, not by serialization)
         unsigned pendingArrivals = 0;
+        /** The write-only subset of pendingArrivals: sfences complete
+         *  when this is 0 and wpqWaiting is empty on every channel
+         *  (reads do not hold an sfence up). */
+        // simlint-transient(subset of pendingArrivals, which
+        // quiescent() proves 0 at capture)
+        unsigned pendingWriteArrivals = 0;
+        /**
+         * ADR durability record: per 64B line, the id of the last
+         * write accepted into this channel's WPQ. Only populated
+         * under persistTracking (crash runs); channel-side state,
+         * touched exclusively by this channel's shard.
+         */
+        std::unordered_map<Addr, std::uint64_t> adrVersions;
         obs::TraceRecorder *tracer = nullptr;
         // simlint-transient(trace wiring re-established by
         // attachTracer in the restored world)
@@ -266,6 +314,7 @@ class Imc
     void wpqDrain(unsigned ci);
     void startRead(unsigned ci, RequestHandle h);
     void checkFences();
+    void checkSfences();
 
     EventQueue &eventq; ///< Core queue (both modes).
     /** The owning system's request pool (handles index into it). */
@@ -282,6 +331,32 @@ class Imc
     // only runs while pendingFences is non-empty)
     bool fencePollScheduled = false;
 
+    /** An sfence held open until its earliest completion tick (the
+     *  partial write-combining drain charge) AND ADR acceptance of
+     *  every prior write. */
+    struct PendingSfence
+    {
+        // simlint-transient(pendingSfences entries cannot exist at
+        // quiescence, the snapshot precondition)
+        RequestHandle h;
+        // simlint-transient(same: dies with its pendingSfences entry
+        // before any snapshot)
+        Tick readyAt; ///< Earliest legal completion (WC drain).
+    };
+    // simlint-transient(a pending sfence implies outstanding writes,
+    // which quiescent() -- the snapshot precondition -- rules out)
+    std::vector<PendingSfence> pendingSfences;
+    // simlint-transient(provably false at capture: the sfence poll
+    // only runs while pendingSfences is non-empty)
+    bool sfencePollScheduled = false;
+    /** Bytes written into the NT write-combining buffers since the
+     *  last sfence; an sfence at a partial cfg.wcBufferBytes fill
+     *  pays cfg.wcPartialDrainNs once. Serialized: a warm world may
+     *  legitimately carry a partial WC fill across a snapshot. */
+    std::uint64_t wcFill = 0;
+    /** ADR version tracking toggle (see enablePersistTracking). */
+    bool persistTracking = false;
+
     StatGroup statGroup;
     // simlint-transient(cached pointer into statGroup, which is
     // serialized; re-resolved after restoreFrom)
@@ -292,6 +367,12 @@ class Imc
     // simlint-transient(cached pointer into statGroup; re-resolved
     // after restoreFrom)
     StatScalar *sFences = nullptr;
+    // simlint-transient(cached pointer into statGroup; re-resolved
+    // after restoreFrom)
+    StatScalar *sSfences = nullptr;
+    // simlint-transient(cached pointer into statGroup; re-resolved
+    // after restoreFrom)
+    StatScalar *sWcPartialDrains = nullptr;
 
     obs::TraceRecorder *tracer = nullptr;
 };

@@ -174,6 +174,7 @@ Verifier::Verifier(const EventQueue &eq, const NvramConfig &cfg,
     : mon(/*fail_fast=*/true),
       lifeChecker(eq, mon),
       invChecker(eq, cfg, mon),
+      persistChecker(mon),
       statGroup(name + ".verify")
 {}
 
@@ -206,6 +207,8 @@ Verifier::stats()
     statGroup.scalar("requests_retired").set(lifeChecker.retired());
     statGroup.scalar("peak_in_flight").set(lifeChecker.peakInFlight());
     statGroup.scalar("audits").set(invChecker.audits());
+    statGroup.scalar("persist_violations")
+        .set(persistChecker.violations());
     statGroup.scalar("failures").set(mon.reported());
     verify::checkStatsInto(statGroup);
     return statGroup;

@@ -31,6 +31,7 @@
 #include <string>
 
 #include "common/check.hh"
+#include "common/crash.hh"
 #include "common/event_queue.hh"
 #include "common/lifecycle.hh"
 #include "common/request.hh"
@@ -135,6 +136,17 @@ class Verifier
     verify::RequestLifecycleChecker &lifecycle() { return lifeChecker; }
     NvmInvariantChecker &invariants() { return invChecker; }
 
+    /**
+     * The PM-discipline checker (un-fenced dirty lines a program
+     * assumed durable). Passive like the others: the crash harness
+     * and tests feed it the cache-level events the memory system
+     * never sees.
+     */
+    persist::PersistenceChecker &persistence()
+    {
+        return persistChecker;
+    }
+
     /** Refresh and return the verifier's stat group. */
     StatGroup &stats();
 
@@ -142,6 +154,7 @@ class Verifier
     verify::Monitor mon;
     verify::RequestLifecycleChecker lifeChecker;
     NvmInvariantChecker invChecker;
+    persist::PersistenceChecker persistChecker;
     StatGroup statGroup;
 };
 

@@ -30,6 +30,15 @@ NvramConfig::validate() const
                   static_cast<unsigned long long>(interleaveBytes),
                   static_cast<unsigned long long>(dimmCapacity));
     }
+    // The sfence partial-drain charge tests wcFill % wcBufferBytes:
+    // a buffer smaller than a line (or not a power of two) would
+    // charge full-line NT streams at random.
+    if (wcBufferBytes < cacheLineSize ||
+        (wcBufferBytes & (wcBufferBytes - 1)) != 0) {
+        fatal("[nvram] wc_buffer_bytes must be a power of two >= %u "
+              "(got %u)",
+              cacheLineSize, wcBufferBytes);
+    }
 }
 
 NvramConfig
@@ -85,6 +94,11 @@ NvramConfig::fromConfig(const Config &cfg)
     c.wearThreshold = cfg.getU64(s, "wear_threshold", c.wearThreshold);
     c.migrationUs = cfg.getDouble(s, "migration_us", c.migrationUs);
     c.dimmCtrlNs = cfg.getDouble(s, "dimm_ctrl_ns", c.dimmCtrlNs);
+    c.clwbExtraNs = cfg.getDouble(s, "clwb_extra_ns", c.clwbExtraNs);
+    c.wcBufferBytes = static_cast<std::uint32_t>(
+        cfg.getU64(s, "wc_buffer_bytes", c.wcBufferBytes));
+    c.wcPartialDrainNs =
+        cfg.getDouble(s, "wc_partial_drain_ns", c.wcPartialDrainNs);
     c.verify = cfg.getBool(s, "verify", c.verify);
     c.trace = cfg.getBool("trace", "enable", c.trace);
     // Reject malformed topologies at parse time, before any world is

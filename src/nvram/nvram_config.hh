@@ -78,6 +78,24 @@ struct NvramConfig
     // ---- Returns / completion --------------------------------------
     double dimmCtrlNs = 18;  ///< DIMM controller FSM per request.
 
+    // ---- Persistence instruction costs (Empirical Guide) -----------
+    /** Extra one-way latency a clwb/clflushopt-initiated writeback
+     *  pays over a plain store on its way to the iMC: the flush has
+     *  to probe the cache hierarchy and eject the line before the
+     *  write can travel (arXiv 1908.03583 / 1903.05714: flush+fence
+     *  persists cost tens of ns over ntstore+fence at equal sizes). */
+    double clwbExtraNs = 35;
+    /** Write-combining drain granularity for NT stores. An sfence
+     *  that cuts an NT-store run at a non-multiple of this size has
+     *  to force out a partially filled combining buffer, which is
+     *  what punishes small NT persists and puts the
+     *  ntstore-vs-cached-write crossover at 256B (Empirical Guide,
+     *  "avoid small ntstores"). */
+    std::uint32_t wcBufferBytes = 256;
+    /** Cost of that forced partial-buffer drain, charged once to the
+     *  sfence that triggers it. */
+    double wcPartialDrainNs = 120;
+
     // ---- Verification ----------------------------------------------
     /** Run with the model-integrity verifier attached (lifecycle +
      *  pipeline invariant checkers). The VANS_VERIFY environment

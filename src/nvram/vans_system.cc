@@ -1,6 +1,7 @@
 #include "nvram/vans_system.hh"
 
 #include "common/check.hh"
+#include "common/crash.hh"
 #include "common/logging.hh"
 #include "common/metrics.hh"
 #include "common/snapshot.hh"
@@ -85,13 +86,18 @@ VansSystem::traceJson() const
 
 VansSystem::~VansSystem()
 {
-    if (verif)
+    // A power-failed world skips the teardown audits: its in-flight
+    // requests never retire and its write path never drains -- that
+    // is the crash, not a leak.
+    if (verif && !failed)
         verif->finalCheck(*this, kern ? kern->idle() : eventq.empty());
 }
 
 void
 VansSystem::issue(RequestHandle h)
 {
+    VANS_REQUIRE("vans", eventq.curTick(), !failed,
+                 "issue into a power-failed world");
     Request &req = reqPool.get(h);
     req.id = nextRequestId();
     req.issueTick = eventq.curTick();
@@ -126,12 +132,51 @@ VansSystem::issue(RequestHandle h)
       case MemOp::Write:
       case MemOp::WriteNT:
       case MemOp::Clwb:
+      case MemOp::Clflushopt:
         imcModel.issueWrite(h);
         break;
       case MemOp::Fence:
         imcModel.issueFence(h);
         break;
+      case MemOp::Sfence:
+        imcModel.issueSfence(h);
+        break;
     }
+}
+
+void
+VansSystem::powerFail(persist::MediaImage &out)
+{
+    VANS_REQUIRE("vans", eventq.curTick(), !failed,
+                 "powerFail on an already-failed world");
+    VANS_REQUIRE("vans", eventq.curTick(),
+                 imcModel.persistTrackingEnabled(),
+                 "powerFail without persist tracking enabled");
+    failed = true;
+    // The ADR guarantee: WPQ contents drain to media on the standby
+    // power, so everything the iMC accepted is durable -- and nothing
+    // else is.
+    std::vector<std::pair<Addr, std::uint64_t>> lines;
+    imcModel.durableLines(lines);
+    for (const auto &[line, version] : lines)
+        out.set(line, version);
+}
+
+void
+VansSystem::loadDurableImage(const persist::MediaImage &image)
+{
+    VANS_REQUIRE("vans", eventq.curTick(), lastRequestId() == 0,
+                 "loadDurableImage into a world that already issued "
+                 "requests (restart seeds fresh worlds only)");
+    imcModel.enablePersistTracking();
+    for (const auto &[line, version] : image.lines())
+        imcModel.seedDurable(line, version);
+}
+
+persist::PersistenceChecker *
+VansSystem::persistenceChecker()
+{
+    return verif ? &verif->persistence() : nullptr;
 }
 
 bool

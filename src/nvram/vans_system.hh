@@ -109,6 +109,18 @@ class VansSystem : public MemorySystem
     void snapshotTo(snapshot::StateSink &sink) const override;
     void restoreFrom(snapshot::StateSource &src) override;
 
+    /** Persistence domain (common/crash.hh): the WPQ is the ADR
+     *  durability boundary this system exposes. */
+    bool persistSupported() const override { return true; }
+    void enablePersistTracking() override
+    {
+        imcModel.enablePersistTracking();
+    }
+    void powerFail(persist::MediaImage &out) override;
+    bool powerFailed() const override { return failed; }
+    void loadDurableImage(const persist::MediaImage &image) override;
+    persist::PersistenceChecker *persistenceChecker() override;
+
   private:
     /** Shared constructor tail: verifier + tracer attachment. */
     void initObservers();
@@ -121,6 +133,13 @@ class VansSystem : public MemorySystem
     std::string sysName;
     ShardedKernel *kern = nullptr;
     Imc imcModel;
+    /** Set by powerFail(): the world is dead -- it accepts no more
+     *  issues and skips teardown audits (in-flight requests never
+     *  retire in a crashed world, by design). */
+    // simlint-transient(a failed world is never snapshotted: its
+    // in-flight requests make quiescent() -- the snapshot
+    // precondition -- false for good)
+    bool failed = false;
     // simlint-transient(the verifier shadows in-flight requests, of
     // which there are none at quiescence; a restored world verifies
     // its own fresh request stream)

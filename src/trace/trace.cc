@@ -23,8 +23,12 @@ instTypeChar(InstType t)
         return 'T';
       case InstType::Clwb:
         return 'C';
+      case InstType::Clflushopt:
+        return 'O';
       case InstType::Fence:
         return 'F';
+      case InstType::Sfence:
+        return 'P';
       case InstType::Mkpt:
         return 'M';
     }
@@ -48,13 +52,24 @@ typeFromChar(char c)
         return InstType::StoreNT;
       case 'C':
         return InstType::Clwb;
+      case 'O':
+        return InstType::Clflushopt;
       case 'F':
         return InstType::Fence;
+      case 'P':
+        return InstType::Sfence;
       case 'M':
         return InstType::Mkpt;
       default:
         fatal("bad trace mnemonic '%c'", c);
     }
+}
+
+/** Fence-kind records are bare lines: no address, no flags. */
+bool
+bareLine(InstType t)
+{
+    return t == InstType::Fence || t == InstType::Sfence;
 }
 
 } // namespace
@@ -70,10 +85,11 @@ writeTraceFile(const std::string &path,
         out << instTypeChar(i.type);
         if (i.type == InstType::NonMem) {
             out << ' ' << i.count;
-        } else if (i.type != InstType::Fence) {
-            // Fences carry no address or dependency flag: the reader
-            // never parses them, so emitting them here would be lost
-            // on a round trip (write -> read -> write would differ).
+        } else if (!bareLine(i.type)) {
+            // Fences (F and P) carry no address or dependency flag:
+            // the reader never parses them, so emitting them here
+            // would be lost on a round trip (write -> read -> write
+            // would differ).
             out << ' ' << std::hex << "0x" << i.addr << std::dec;
             if (i.dependsOnPrev)
                 out << " d";
@@ -102,7 +118,7 @@ readTraceFile(const std::string &path)
         inst.type = typeFromChar(c);
         if (inst.type == InstType::NonMem) {
             ss >> inst.count;
-        } else if (inst.type != InstType::Fence) {
+        } else if (!bareLine(inst.type)) {
             std::string a;
             ss >> a;
             inst.addr = std::strtoull(a.c_str(), nullptr, 0);

@@ -20,13 +20,15 @@ namespace vans::trace
 /** Instruction kinds the core model understands. */
 enum class InstType : std::uint8_t
 {
-    NonMem,  ///< A bundle of count non-memory instructions.
+    NonMem,     ///< A bundle of count non-memory instructions.
     Load,
     Store,
     StoreNT,
     Clwb,
+    Clflushopt, ///< Flush + invalidate (persistence path).
     Fence,
-    Mkpt,    ///< Pre-translation hint (paper section V-B).
+    Sfence,     ///< Store fence: ADR ordering only.
+    Mkpt,       ///< Pre-translation hint (paper section V-B).
 };
 
 /** One trace record. */

@@ -161,10 +161,13 @@ TEST(TraceRoundTrip, EveryInstTypeSurvivesWriteReadWrite)
     insts.push_back({InstType::Store, 0x2040, 1, true});
     insts.push_back({InstType::StoreNT, 0x3080, 1, false});
     insts.push_back({InstType::Clwb, 0x3080, 1, true});
+    insts.push_back({InstType::Clflushopt, 0x50c0, 1, false});
     // Pre-fix, the writer emitted an address and "d" flag here that
     // the reader never consumes; stale in-memory fields must not
     // leak into the file.
     insts.push_back({InstType::Fence, 0xdeadbeef, 1, true});
+    // Sfence is bare on disk exactly like Fence.
+    insts.push_back({InstType::Sfence, 0xcafe, 1, true});
     insts.push_back({InstType::Mkpt, 0x4000, 1, false});
 
     auto p1 = tmpPath("roundtrip1.trace");
@@ -177,13 +180,14 @@ TEST(TraceRoundTrip, EveryInstTypeSurvivesWriteReadWrite)
         EXPECT_EQ(back[i].type, insts[i].type) << "inst " << i;
         if (insts[i].type == InstType::NonMem) {
             EXPECT_EQ(back[i].count, insts[i].count);
-        } else if (insts[i].type != InstType::Fence) {
+        } else if (insts[i].type != InstType::Fence &&
+                   insts[i].type != InstType::Sfence) {
             EXPECT_EQ(back[i].addr, insts[i].addr) << "inst " << i;
             EXPECT_EQ(back[i].dependsOnPrev, insts[i].dependsOnPrev)
                 << "inst " << i;
         } else {
-            // Fences carry no payload on disk: the parsed instruction
-            // comes back in its default state.
+            // Fences (both kinds) carry no payload on disk: the
+            // parsed instruction comes back in its default state.
             EXPECT_EQ(back[i].addr, 0u);
             EXPECT_FALSE(back[i].dependsOnPrev);
         }
@@ -205,5 +209,18 @@ TEST(TraceRoundTrip, FenceLineIsBare)
     insts.push_back({trace::InstType::Fence, 0x1234, 1, true});
     trace::writeTraceFile(p, insts);
     EXPECT_EQ(slurp(p), "F\n");
+    std::remove(p.c_str());
+}
+
+TEST(TraceRoundTrip, SfenceLineIsBare)
+{
+    // The persistence ops added with the ADR model: sfence shares
+    // the Fence bare-line rule; clflushopt carries its address.
+    auto p = tmpPath("sfence.trace");
+    std::vector<trace::TraceInst> insts;
+    insts.push_back({trace::InstType::Sfence, 0x1234, 1, true});
+    insts.push_back({trace::InstType::Clflushopt, 0x40, 1, false});
+    trace::writeTraceFile(p, insts);
+    EXPECT_EQ(slurp(p), "P\nO 0x40\n");
     std::remove(p.c_str());
 }

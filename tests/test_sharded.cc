@@ -106,6 +106,21 @@ fig07aWorkload(lens::Driver &drv)
     drv.fence();
 }
 
+/** Persistence-ops workload: NT-store and clwb persist blocks,
+ *  clflushopt writebacks and sfences across all interleaves. */
+void
+persistWorkload(lens::Driver &drv)
+{
+    for (unsigned rep = 0; rep < 4; ++rep) {
+        Addr base = static_cast<Addr>(rep) * 16384;
+        drv.persistBlockNt(base, 1024);
+        drv.persistBlockCached(base + 8192, 512);
+        drv.clflushopt(base + 12288);
+        drv.sfence();
+    }
+    drv.fence();
+}
+
 } // namespace
 
 // ---- Serial == sharded determinism -----------------------------------
@@ -132,6 +147,26 @@ TEST(ShardedDeterminism, Fig07aMetricsAndTraceBitIdentical)
     RunOutput serial = runSharded(cfg, 1, fig07aWorkload);
     for (unsigned threads : {2u, 8u}) {
         RunOutput par = runSharded(cfg, threads, fig07aWorkload);
+        EXPECT_EQ(serial.metrics, par.metrics)
+            << "metrics diverge at " << threads << " threads";
+        EXPECT_EQ(serial.trace, par.trace)
+            << "trace diverges at " << threads << " threads";
+        EXPECT_EQ(serial.end, par.end);
+    }
+}
+
+TEST(ShardedDeterminism, PersistOpsBitIdentical)
+{
+    // The persistence ops (sfence ADR polling, clwb/clflushopt
+    // writebacks, WC partial-drain charges) in the request stream
+    // must keep sharded runs bit-identical to serial at any thread
+    // count.
+    nvram::NvramConfig cfg = socket6();
+    RunOutput serial = runSharded(cfg, 1, persistWorkload);
+    EXPECT_FALSE(serial.metrics.empty());
+    EXPECT_FALSE(serial.trace.empty());
+    for (unsigned threads : {2u, 8u}) {
+        RunOutput par = runSharded(cfg, threads, persistWorkload);
         EXPECT_EQ(serial.metrics, par.metrics)
             << "metrics diverge at " << threads << " threads";
         EXPECT_EQ(serial.trace, par.trace)

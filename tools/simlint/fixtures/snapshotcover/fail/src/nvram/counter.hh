@@ -16,11 +16,16 @@ class Counter
     void restoreFrom(snapshot::StateSource &src)
     {
         ticks = src.u64();
+        events = src.u64();
     }
 
   private:
     unsigned long long ticks = 0;
     unsigned long long events = 0;
+    // Persist-domain state: write-combining fill that snapshotTo and
+    // restoreFrom both forget -- ADR durability silently lost across
+    // a snapshot, the exact bug class snapshotcover exists to catch.
+    unsigned long long wcFill = 0;
 };
 
 } // namespace vans::nvram

@@ -11,12 +11,16 @@ class Counter
     {
         sink.u64(ticks);
         sink.u64(events);
+        sink.u64(wcFill);
+        sink.u64(adrVersions.size());
     }
 
     void restoreFrom(snapshot::StateSource &src)
     {
         ticks = src.u64();
         events = src.u64();
+        wcFill = src.u64();
+        adrVersions.clear();
     }
 
   private:
@@ -25,6 +29,26 @@ class Counter
     // simlint-transient(scratch: recomputed by the first event after
     // a restore, never read before then)
     unsigned long long lastDelta = 0;
+
+    // The persist-domain shape from the ADR model: durable state
+    // (the line->version map and the write-combining fill) is
+    // serialized; an in-flight fence cannot exist at quiescence, the
+    // snapshot precondition, so its bookkeeping is transient.
+    std::unordered_map<unsigned long long, unsigned long long>
+        adrVersions;
+    unsigned long long wcFill = 0;
+    struct PendingSfence
+    {
+        // simlint-transient(dies with its pendingSfences entry
+        // before any snapshot)
+        unsigned long long id = 0;
+        // simlint-transient(same: earliest completion of an entry
+        // that cannot outlive quiescence)
+        unsigned long long readyAt = 0;
+    };
+    // simlint-transient(a pending fence implies outstanding writes,
+    // which the snapshot precondition excludes)
+    PendingSfence pendingSfence;
 };
 
 } // namespace vans::nvram

@@ -6,8 +6,18 @@ namespace vans::dram
 
 class Tally
 {
+  public:
+    void statsInto(StatGroup &stats) const
+    {
+        stats.scalar("row_hits").set(rowHits.value());
+    }
+
   private:
     StatScalar rowHits;
+    // A persistence-op counter (sfences accepted into ADR) that
+    // never reaches a StatGroup: the run reports nothing about the
+    // fence traffic it simulated.
+    StatScalar sfences;
 };
 
 } // namespace vans::dram

@@ -10,10 +10,17 @@ class Tally
     void statsInto(StatGroup &stats) const
     {
         stats.scalar("row_hits").set(rowHits.value());
+        stats.scalar("sfences").set(sfences.value());
+        stats.scalar("wc_partial_drains").set(wcPartialDrains.value());
     }
 
   private:
     StatScalar rowHits;
+    // The persistence-op counters every ADR-capable component must
+    // report: fence acceptances and Empirical-Guide partial
+    // write-combining drains.
+    StatScalar sfences;
+    StatScalar wcPartialDrains;
 };
 
 } // namespace vans::dram
