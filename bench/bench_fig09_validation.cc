@@ -14,6 +14,7 @@
  */
 
 #include "bench/bench_util.hh"
+#include "common/config.hh"
 #include "common/sweep.hh"
 #include "lens/microbench.hh"
 #include "lens/probers.hh"
@@ -68,17 +69,29 @@ latencyCurves(const SystemFactory &factory, const SweepRunner &sweep,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 9", "VANS validation with microbenchmarks");
+
+    // Optional config-file path: every section builds its worlds
+    // from this base, so `bench_fig09 configs/optane_memory_mode.cfg`
+    // reruns the whole validation in Memory mode (2LM) from config
+    // alone. App Direct remains the default.
+    nvram::NvramConfig base = nvram::NvramConfig::optaneDefault();
+    if (argc > 1) {
+        base = nvram::NvramConfig::fromConfig(
+            Config::fromFile(argv[1]));
+        std::printf("config: %s (%s mode)\n\n", argv[1],
+                    base.memoryMode() ? "memory" : "app_direct");
+    }
+    const bool mm = base.memoryMode();
 
     auto regions = logSweep(64, 128ull << 20, 2);
     SweepRunner sweep;
 
     // ---- (a) 1 DIMM --------------------------------------------------
-    SystemFactory one = [](EventQueue &eq) {
-        return std::make_unique<nvram::VansSystem>(
-            eq, nvram::NvramConfig::optaneDefault());
+    SystemFactory one = [base](EventQueue &eq) {
+        return std::make_unique<nvram::VansSystem>(eq, base);
     };
     auto [ld1, st1] = latencyCurves(one, sweep, regions, "");
     auto ld_ref = optaneLoadReference(regions);
@@ -89,16 +102,30 @@ main()
 
     double acc_ld = ld1.accuracyAgainst(ld_ref);
     double acc_st = st1.accuracyAgainst(st_ref);
-    check("load curve accuracy > 80% vs reference",
-          acc_ld > 0.80);
-    check("store curve within 2x of reference everywhere "
-          "(small sizes dominated by core-side costs, paper "
-          "section IV-C)",
-          acc_st > 0.35);
+    if (!mm) {
+        check("load curve accuracy > 80% vs reference",
+              acc_ld > 0.80);
+        check("store curve within 2x of reference everywhere "
+              "(small sizes dominated by core-side costs, paper "
+              "section IV-C)",
+              acc_st > 0.35);
+    } else {
+        // The Optane reference curves characterize App Direct;
+        // Memory mode is validated against 2LM shape expectations
+        // instead: near-memory hits beat the App Direct reference,
+        // and capacity misses fall back toward NVM latency.
+        check("cached regions complete below the App Direct "
+              "reference (memory mode)",
+              ld1.valueAt(64 << 10) < ld_ref.valueAt(64 << 10));
+        check("regions beyond the DRAM cache fall back toward "
+              "NVM latency",
+              ld1.valueAt(128ull << 20) >
+                  1.5 * ld1.valueAt(64 << 10));
+    }
 
     // ---- (b) 6 interleaved DIMMs --------------------------------------
-    SystemFactory six = [](EventQueue &eq) {
-        nvram::NvramConfig cfg = nvram::NvramConfig::optaneDefault();
+    SystemFactory six = [base](EventQueue &eq) {
+        nvram::NvramConfig cfg = base;
         cfg.numDimms = 6;
         cfg.interleaved = true;
         return std::make_unique<nvram::VansSystem>(eq, cfg, "vans6");
@@ -107,10 +134,17 @@ main()
 
     std::printf("(b) 6 interleaved DIMMs, latency per CL (ns)\n");
     printCurves({ld6, st6}, "region");
-    check("interleaving postpones the read buffering effect",
-          ld6.valueAt(64 << 10) < ld1.valueAt(64 << 10));
-    check("interleaving reduces large-region store latency",
-          st6.valueAt(1 << 20) < st1.valueAt(1 << 20));
+    if (!mm) {
+        check("interleaving postpones the read buffering effect",
+              ld6.valueAt(64 << 10) < ld1.valueAt(64 << 10));
+        check("interleaving reduces large-region store latency",
+              st6.valueAt(1 << 20) < st1.valueAt(1 << 20));
+    } else {
+        // Six channels bring six DRAM caches: the 128MB region that
+        // thrashes one 64MB cache fits the interleaved aggregate.
+        check("interleaving multiplies near-memory capacity",
+              ld6.valueAt(128ull << 20) < ld1.valueAt(128ull << 20));
+    }
 
     // ---- (c) RMW read amplification -----------------------------------
     std::printf("(c) RMW-buffer read amplification "
@@ -127,8 +161,7 @@ main()
         amp_blocks.size(), [&](std::size_t i) {
             std::uint32_t block = amp_blocks[i];
             EventQueue eq;
-            nvram::VansSystem sys(
-                eq, nvram::NvramConfig::optaneDefault());
+            nvram::VansSystem sys(eq, base);
             lens::Driver drv(sys);
             lens::PtrChaseParams pc;
             pc.regionBytes = 1 << 20; // Overflows RMW, fits AIT.
@@ -160,8 +193,8 @@ main()
           amp_sim.valueAt(64) > 3.0);
 
     // ---- (d) overwrite tail --------------------------------------------
-    SystemFactory wfac = [](EventQueue &eq) {
-        nvram::NvramConfig wcfg = nvram::NvramConfig::optaneDefault();
+    SystemFactory wfac = [base](EventQueue &eq) {
+        nvram::NvramConfig wcfg = base;
         wcfg.wearThreshold = 3500;
         return std::make_unique<nvram::VansSystem>(eq, wcfg);
     };

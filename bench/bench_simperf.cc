@@ -101,6 +101,51 @@ BM_VansWriteStream(benchmark::State &state)
 }
 BENCHMARK(BM_VansWriteStream);
 
+// ---- Memory-mode (2LM) pair ----------------------------------------
+//
+// The two benches below are the Memory-mode twins of BM_VansReadHit
+// and BM_VansWriteStream: identical request shapes with the
+// direct-mapped DRAM cache interposed. The read side prices the
+// cache's hot path (tag probe + one DDR4 access per hit); the write
+// side prices WPQ drains landing in the cache's write-through +
+// writeback machinery instead of the DIMM LSQ.
+
+void
+BM_VansMemoryModeReadHit(benchmark::State &state)
+{
+    setQuiet(true);
+    EventQueue eq;
+    nvram::NvramConfig cfg = nvram::NvramConfig::optaneDefault();
+    cfg.mode = nvram::SystemMode::Memory;
+    nvram::VansSystem sys(eq, cfg);
+    lens::Driver drv(sys);
+    drv.read(0); // Cold miss: fetch + fill the cache line.
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(drv.read(0));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VansMemoryModeReadHit);
+
+void
+BM_VansMemoryModeWriteStream(benchmark::State &state)
+{
+    setQuiet(true);
+    EventQueue eq;
+    nvram::NvramConfig cfg = nvram::NvramConfig::optaneDefault();
+    cfg.mode = nvram::SystemMode::Memory;
+    nvram::VansSystem sys(eq, cfg);
+    lens::Driver drv(sys);
+    std::vector<Addr> addrs;
+    for (Addr a = 0; a < 64 * 64; a += 64)
+        addrs.push_back(a);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(drv.streamWrites(addrs, 16));
+    }
+    state.SetItemsProcessed(state.iterations() * addrs.size());
+}
+BENCHMARK(BM_VansMemoryModeWriteStream);
+
 // ---- Fig 5-shaped end-to-end pair ----------------------------------
 //
 // The two benches below replay the pointer-chase (5a load side) and

@@ -1,5 +1,7 @@
 #include "cache/cache.hh"
 
+#include <iterator>
+
 #include "common/logging.hh"
 
 namespace vans::cache
@@ -56,9 +58,18 @@ Cache::access(Addr addr, bool write)
     }
 
     statGroup.scalar("misses").inc();
-    // Fill into the LRU way.
-    unsigned victim = set.lruOrder.back();
-    set.lruOrder.pop_back();
+    // Fill into an invalid way when one exists (a clflushopt'd line
+    // leaves a free slot behind); only a full set evicts the LRU way.
+    auto victim_it = std::prev(set.lruOrder.end());
+    for (auto it = set.lruOrder.begin(); it != set.lruOrder.end();
+         ++it) {
+        if (!set.lines[*it].valid) {
+            victim_it = it;
+            break;
+        }
+    }
+    unsigned victim = *victim_it;
+    set.lruOrder.erase(victim_it);
     Line &l = set.lines[victim];
     if (l.valid && l.dirty) {
         res.writeback = true;

@@ -268,8 +268,12 @@ CrashHarness::runToCrash(const SystemFactory &factory,
 
     // Requests this harness issued that have not completed. This --
     // not eq.empty() -- is the drain condition: a model whose DRAM
-    // cache has been touched re-arms its refresh wakeup forever, so
-    // the event queue of an idle world is never empty.
+    // path has been touched re-arms its refresh wakeup forever, so
+    // the event queue of an idle world is never empty. It is the
+    // cut-aware twin of MemorySystem::drain(): the shared helper
+    // cannot be used here because every step must respect the cut
+    // tick, but the "state predicate, never queue emptiness" rule
+    // is the same one.
     std::uint64_t outstanding = 0;
 
     auto issueDurableWrite = [&](MemOp mop, Addr line) {

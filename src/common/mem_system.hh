@@ -136,6 +136,36 @@ class MemorySystem
      */
     virtual bool quiescent() const { return true; }
 
+    /**
+     * Run the kernel until quiescent(): the one sanctioned idle-out
+     * loop, shared by the LENS driver, snapshot capture and the
+     * crash harness. Never key a drain on event-queue emptiness --
+     * any world whose DRAM path was touched re-arms its tREFI
+     * refresh wakeup forever, so the queue of an idle world is
+     * never empty and an emptiness-keyed loop spins until the end
+     * of time. @p maxEvents bounds the wait: exceeding it (or the
+     * kernel running dry short of quiescence) is a model bug and
+     * fails loudly.
+     */
+    void
+    drain(std::uint64_t maxEvents = 50'000'000)
+    {
+        std::uint64_t steps = 0;
+        while (!quiescent()) {
+            VANS_REQUIRE("mem-system", eventq.curTick(),
+                         steps < maxEvents,
+                         "%s not quiescent after %llu events",
+                         name().c_str(),
+                         static_cast<unsigned long long>(maxEvents));
+            bool advanced = step();
+            VANS_REQUIRE("mem-system", eventq.curTick(), advanced,
+                         "kernel drained but %s never became "
+                         "quiescent",
+                         name().c_str());
+            ++steps;
+        }
+    }
+
     /** Serialize the full warm state into @p sink. */
     virtual void
     snapshotTo(snapshot::StateSink &sink) const

@@ -39,18 +39,36 @@ jsonEscape(const std::string &s)
     return out;
 }
 
-/** JSON has no NaN/Inf literals; clamp to null-safe numbers. */
+/** JSON has no NaN/Inf literals; an unmeasurable value is null. */
 void
 appendNumber(std::ostringstream &o, double v)
 {
     if (!std::isfinite(v)) {
-        o << "0";
+        o << "null";
         return;
     }
     std::ostringstream tmp;
     tmp.precision(15);
     tmp << v;
     o << tmp.str();
+}
+
+/**
+ * A statistic derived from an empty sample stream (min/max/mean/
+ * percentiles at count == 0) has no value at all: emitting the
+ * accessor's 0 fallback makes a cold counter indistinguishable from
+ * a measured zero, and the raw +/-inf extrema must never reach the
+ * document. Null is the honest spelling, and every JSON parser
+ * accepts it.
+ */
+void
+appendSampled(std::ostringstream &o, double v, std::uint64_t count)
+{
+    if (count == 0) {
+        o << "null";
+        return;
+    }
+    appendNumber(o, v);
 }
 
 } // namespace
@@ -81,14 +99,15 @@ MetricsRegistry::toJson() const
             if (!first)
                 o << ",";
             first = false;
+            std::uint64_t n = kv.second.count();
             o << "\n        \"" << jsonEscape(kv.first)
               << "\": {\"mean\": ";
-            appendNumber(o, kv.second.mean());
+            appendSampled(o, kv.second.mean(), n);
             o << ", \"min\": ";
-            appendNumber(o, kv.second.min());
+            appendSampled(o, kv.second.min(), n);
             o << ", \"max\": ";
-            appendNumber(o, kv.second.max());
-            o << ", \"count\": " << kv.second.count() << "}";
+            appendSampled(o, kv.second.max(), n);
+            o << ", \"count\": " << n << "}";
         }
         o << (first ? "}" : "\n      }")
           << ",\n      \"distributions\": {";
@@ -97,20 +116,21 @@ MetricsRegistry::toJson() const
             if (!first)
                 o << ",";
             first = false;
+            std::uint64_t n = kv.second.count();
             o << "\n        \"" << jsonEscape(kv.first)
               << "\": {\"mean\": ";
-            appendNumber(o, kv.second.mean());
+            appendSampled(o, kv.second.mean(), n);
             o << ", \"min\": ";
-            appendNumber(o, kv.second.min());
+            appendSampled(o, kv.second.min(), n);
             o << ", \"max\": ";
-            appendNumber(o, kv.second.max());
+            appendSampled(o, kv.second.max(), n);
             o << ", \"p50\": ";
-            appendNumber(o, kv.second.percentile(0.5));
+            appendSampled(o, kv.second.percentile(0.5), n);
             o << ", \"p99\": ";
-            appendNumber(o, kv.second.percentile(0.99));
+            appendSampled(o, kv.second.percentile(0.99), n);
             o << ", \"p999\": ";
-            appendNumber(o, kv.second.percentile(0.999));
-            o << ", \"count\": " << kv.second.count() << "}";
+            appendSampled(o, kv.second.percentile(0.999), n);
+            o << ", \"count\": " << n << "}";
         }
         o << (first ? "}" : "\n      }") << "\n    }";
     }

@@ -33,6 +33,12 @@ Driver::runUntil(const std::function<bool()> &pred)
 }
 
 void
+Driver::drain()
+{
+    mem.drain();
+}
+
+void
 Driver::idle(Tick ticks)
 {
     Tick target = eq.curTick() + ticks;

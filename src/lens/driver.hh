@@ -104,6 +104,15 @@ class Driver
     /** Step the event queue until @p pred returns true. */
     void runUntil(const std::function<bool()> &pred);
 
+    /**
+     * Let the system idle out: run until quiescent() (shared
+     * MemorySystem::drain condition). This -- never event-queue
+     * emptiness -- is how a workload ends: a world whose DRAM path
+     * was touched keeps its refresh wakeup armed forever, so its
+     * queue never empties.
+     */
+    void drain();
+
     /** Advance simulated time by @p ticks (think time). */
     void idle(Tick ticks);
 

@@ -1,0 +1,340 @@
+#include "nvram/dram_cache.hh"
+
+#include <algorithm>
+
+#include "common/check.hh"
+#include "common/logging.hh"
+#include "common/snapshot.hh"
+#include "common/trace_event.hh"
+
+namespace vans::nvram
+{
+
+namespace
+{
+
+dram::DramGeometry
+cacheDramGeometry(const NvramConfig &cfg)
+{
+    dram::DramGeometry g;
+    g.capacityBytes = cfg.dcacheCapacity;
+    g.rowBytes = 8192;
+    // Test-size caches: shrink the page, then the bank fan-out,
+    // until the mapping has at least one row per bank (validate()
+    // guarantees a power-of-two capacity of at least one line).
+    while (g.rowBytes > cacheLineSize &&
+           g.rowBytes * g.totalBanks() > g.capacityBytes)
+        g.rowBytes /= 2;
+    while (g.totalBanks() > 1 &&
+           g.rowBytes * g.totalBanks() > g.capacityBytes) {
+        if (g.bankGroups > 1)
+            g.bankGroups /= 2;
+        else
+            g.banksPerGroup /= 2;
+    }
+    return g;
+}
+
+} // namespace
+
+DramCache::DramCache(EventQueue &eq, const NvramConfig &config,
+                     NvramDimm &nvm_dimm, const std::string &name)
+    : eventq(eq),
+      cfg(config),
+      nvm(nvm_dimm),
+      numSets(config.dcacheCapacity / cacheLineSize),
+      tags(numSets, 0),
+      lineState(numSets, 0),
+      statGroup(name),
+      dram(eq, config.dcacheTiming, cacheDramGeometry(config),
+           dram::SchedPolicy::FRFCFS, dram::MapScheme::RowBankCol,
+           name + ".dram")
+{
+    VANS_REQUIRE("dcache", 0,
+                 numSets > 0 && (numSets & (numSets - 1)) == 0,
+                 "set count %llu is not a power of two "
+                 "(dcache_capacity %llu)",
+                 static_cast<unsigned long long>(numSets),
+                 static_cast<unsigned long long>(
+                     cfg.dcacheCapacity));
+    fetching.reserve(cfg.rpqEntries);
+    missWaiters.reserve(cfg.rpqEntries);
+    waiterScratch.reserve(cfg.rpqEntries);
+    cacheStatPointers();
+}
+
+void
+DramCache::cacheStatPointers()
+{
+    sHits = &statGroup.scalar("hits");
+    sMisses = &statGroup.scalar("misses");
+    sMshrMerges = &statGroup.scalar("mshr_merges");
+    sFills = &statGroup.scalar("fills");
+    sDirtyEvicts = &statGroup.scalar("dirty_evicts");
+    sWriteThroughs = &statGroup.scalar("writethroughs");
+    sInvalidates = &statGroup.scalar("invalidates");
+    sWbWriteHits = &statGroup.scalar("wb_write_hits");
+    sWbWriteMisses = &statGroup.scalar("wb_write_misses");
+    sNvmLineWrites = &statGroup.scalar("nvm_line_writes");
+    sHitRatio = &statGroup.average("hit_ratio");
+}
+
+void
+DramCache::attachTracer(obs::TraceRecorder &rec,
+                        const std::string &track_name)
+{
+    tracer = &rec;
+    traceTrack = rec.track(track_name);
+    lblMiss = rec.label("dc_miss");
+    lblEvict = rec.label("dc_evict");
+    dram.attachTracer(rec, track_name + ".dram");
+}
+
+bool
+DramCache::contains(Addr line) const
+{
+    return present(setOf(line), alignDown(line, cacheLineSize));
+}
+
+bool
+DramCache::isDirty(Addr line) const
+{
+    Addr l = alignDown(line, cacheLineSize);
+    std::uint64_t set = setOf(l);
+    return present(set, l) && (lineState[set] & kDirty) != 0;
+}
+
+bool
+DramCache::fetchInFlight(Addr line) const
+{
+    for (const auto &[l, t] : fetching) {
+        if (l == line)
+            return true;
+    }
+    return false;
+}
+
+void
+DramCache::read(Addr addr, DoneCallback done)
+{
+    Addr line = alignDown(addr, cacheLineSize);
+    std::uint64_t set = setOf(line);
+    bool hit = present(set, line);
+    sHitRatio->sample(hit ? 1.0 : 0.0);
+    if (hit) {
+        sHits->inc();
+        // Data lives in the cache DIMM: one 64B DRAM access at DDR4
+        // timing is the whole service.
+        dram.access(slotAddr(set), false, cacheLineSize,
+                    std::move(done));
+        return;
+    }
+    sMisses->inc();
+    bool merged = fetchInFlight(line);
+    missWaiters.emplace_back(line, std::move(done));
+    if (merged) {
+        // MSHR merge: ride the outstanding fetch.
+        sMshrMerges->inc();
+        return;
+    }
+    fetching.emplace_back(line, eventq.curTick());
+    nvm.read(line, [this, line](Tick) { fillArrived(line); });
+}
+
+void
+DramCache::fillArrived(Addr line)
+{
+    Tick now = eventq.curTick();
+    std::uint64_t set = setOf(line);
+    // A write-allocate may have installed the line while the fetch
+    // was in flight; keep its (dirty) copy -- the NVM data is stale
+    // against it.
+    if (!present(set, line)) {
+        installLine(line, false);
+        sFills->inc();
+        dramWrite(line);
+    }
+    // Retire the MSHR before waking waiters: a released callback may
+    // immediately issue another read of the same line, which must
+    // see the installed tag, not the dead fetch entry.
+    for (std::size_t i = 0; i < fetching.size(); ++i) {
+        if (fetching[i].first == line) {
+            if (tracer) [[unlikely]] {
+                tracer->span(traceTrack, lblMiss,
+                             fetching[i].second, now);
+            }
+            fetching[i] = fetching.back();
+            fetching.pop_back();
+            break;
+        }
+    }
+    // Wake every read merged onto this fetch, in issue order (the
+    // flat vector preserves insertion order per line, exactly like
+    // the iMC's WPQ read hazards).
+    waiterScratch.clear();
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < missWaiters.size(); ++i) {
+        if (missWaiters[i].first == line)
+            waiterScratch.push_back(std::move(missWaiters[i].second));
+        else
+            missWaiters[kept++] = std::move(missWaiters[i]);
+    }
+    missWaiters.resize(kept);
+    for (DoneCallback &cb : waiterScratch)
+        cb(now);
+}
+
+void
+DramCache::installLine(Addr line, bool dirty)
+{
+    std::uint64_t set = setOf(line);
+    if ((lineState[set] & (kValid | kDirty)) == (kValid | kDirty) &&
+        tags[set] != line) {
+        // Direct-mapped conflict with a dirty resident: the victim's
+        // only up-to-date copy is here, write it back to the DIMM.
+        sDirtyEvicts->inc();
+        if (tracer) [[unlikely]] {
+            Tick now = eventq.curTick();
+            tracer->span(traceTrack, lblEvict, now,
+                         now + nsToTicks(cfg.busCmdNs +
+                                         cfg.busDataPer64bNs));
+        }
+        pushNvmWrite(tags[set]);
+    }
+    tags[set] = line;
+    lineState[set] =
+        static_cast<std::uint8_t>(kValid | (dirty ? kDirty : 0));
+}
+
+void
+DramCache::accept(Addr line, std::uint8_t kind)
+{
+    std::uint64_t set = setOf(line);
+    bool was_present = present(set, line);
+    if ((kind & kWriteThrough) != 0) {
+        // Persist-kind store: the DIMM must see it (clwb / ntstore
+        // keep their App Direct durability path through the volatile
+        // cache).
+        sWriteThroughs->inc();
+        pushNvmWrite(line);
+        if (was_present) {
+            if ((kind & kInvalidate) != 0) {
+                // clflushopt: writeback + invalidate.
+                sInvalidates->inc();
+                lineState[set] = 0;
+            } else {
+                // The cached copy now matches the DIMM: clean.
+                lineState[set] = kValid;
+                dramWrite(line);
+            }
+        }
+        return;
+    }
+    // Plain store: write-back allocate. The WPQ drained the full
+    // 64B line, so a miss installs without fetching from the DIMM.
+    if (was_present)
+        sWbWriteHits->inc();
+    else
+        sWbWriteMisses->inc();
+    installLine(line, true);
+    lineState[set] = kValid | kDirty;
+    dramWrite(line);
+}
+
+void
+DramCache::dramWrite(Addr line)
+{
+    // Background DRAM array write (fill or copy-update): nothing
+    // waits on it, but quiescence must.
+    ++outstandingDramWrites;
+    dram.access(slotAddr(setOf(line)), true, cacheLineSize,
+                [this](Tick) { --outstandingDramWrites; });
+}
+
+void
+DramCache::pushNvmWrite(Addr line)
+{
+    sNvmLineWrites->inc();
+    nvmWbQueue.push_back(line);
+    drainNvmWrites();
+}
+
+void
+DramCache::drainNvmWrites()
+{
+    if (nvmDrainBusy || nvmWbQueue.empty())
+        return;
+    Addr line = nvmWbQueue.front();
+    if (!nvm.canAcceptWrite(line))
+        return; // Resumed by the DIMM's write-space callback.
+    nvmDrainBusy = true;
+    nvmWbQueue.pop_front();
+    nvm.acceptWrite(line);
+    // One handoff per DDR-T write beat: the cache-to-DIMM hop rides
+    // the same channel wires as an App Direct WPQ drain.
+    eventq.scheduleAfter(
+        nsToTicks(cfg.busCmdNs + cfg.busDataPer64bNs), [this] {
+            nvmDrainBusy = false;
+            drainNvmWrites();
+            if (nvmWbQueue.size() < nvmWbWindow && onSpaceFreed)
+                onSpaceFreed();
+        });
+}
+
+void
+DramCache::snapshotTo(snapshot::StateSink &sink) const
+{
+    VANS_REQUIRE("dcache", eventq.curTick(), quiescent(),
+                 "snapshot of a non-quiescent DRAM cache");
+    sink.tag("dcache");
+    sink.u64(numSets);
+    std::uint64_t valid = 0;
+    for (std::uint64_t set = 0; set < numSets; ++set) {
+        if ((lineState[set] & kValid) != 0)
+            ++valid;
+    }
+    // Sparse tag store in set order: (set, tag, dirty) triples.
+    sink.u64(valid);
+    for (std::uint64_t set = 0; set < numSets; ++set) {
+        if ((lineState[set] & kValid) == 0)
+            continue;
+        sink.u64(set);
+        sink.u64(tags[set]);
+        sink.boolean((lineState[set] & kDirty) != 0);
+    }
+    statGroup.snapshotTo(sink);
+    dram.snapshotTo(sink);
+}
+
+void
+DramCache::restoreFrom(snapshot::StateSource &src)
+{
+    VANS_REQUIRE("dcache", eventq.curTick(), quiescent(),
+                 "restore into a non-quiescent DRAM cache");
+    src.tag("dcache");
+    std::uint64_t n = src.u64();
+    VANS_REQUIRE("dcache", eventq.curTick(), n == numSets,
+                 "set count mismatch (%llu vs %llu): capture and "
+                 "restore worlds must share dcache_capacity",
+                 static_cast<unsigned long long>(n),
+                 static_cast<unsigned long long>(numSets));
+    std::fill(tags.begin(), tags.end(), 0);
+    std::fill(lineState.begin(), lineState.end(),
+              static_cast<std::uint8_t>(0));
+    std::uint64_t valid = src.u64();
+    for (std::uint64_t i = 0; i < valid; ++i) {
+        std::uint64_t set = src.u64();
+        VANS_REQUIRE("dcache", eventq.curTick(), set < numSets,
+                     "snapshot set %llu beyond %llu sets",
+                     static_cast<unsigned long long>(set),
+                     static_cast<unsigned long long>(numSets));
+        tags[set] = src.u64();
+        lineState[set] = static_cast<std::uint8_t>(
+            kValid | (src.boolean() ? kDirty : 0));
+    }
+    statGroup.restoreFrom(src);
+    dram.restoreFrom(src);
+    cacheStatPointers();
+}
+
+} // namespace vans::nvram

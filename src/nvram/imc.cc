@@ -50,8 +50,21 @@ Imc::buildChannels(const std::string &name)
             name + ".ch" + std::to_string(i));
         ch.dimm = std::make_unique<NvramDimm>(
             *ch.q, cfg, name + ".dimm" + std::to_string(i));
-        ch.dimm->setWriteSpaceCallback([this, i] { wpqDrain(i); });
+        if (cfg.memoryMode()) {
+            // Memory mode: the DRAM cache interposes. LSQ space
+            // freed resumes the cache's writeback forwarding; cache
+            // writeback-window space freed resumes the WPQ drain.
+            ch.dcache = std::make_unique<DramCache>(
+                *ch.q, cfg, *ch.dimm,
+                name + ".dcache" + std::to_string(i));
+            ch.dimm->setWriteSpaceCallback(
+                [dc = ch.dcache.get()] { dc->nvmSpaceFreed(); });
+            ch.dcache->onSpaceFreed = [this, i] { wpqDrain(i); };
+        } else {
+            ch.dimm->setWriteSpaceCallback([this, i] { wpqDrain(i); });
+        }
         ch.wpqLines.reserve(cfg.wpqEntries);
+        ch.wpqKinds.reserve(cfg.wpqEntries);
         cacheStatPointers(ch);
     }
     sReads = &statGroup.scalar("reads");
@@ -80,6 +93,34 @@ Imc::wpqContains(const Channel &ch, Addr line)
     return false;
 }
 
+std::uint8_t
+Imc::writeKindOf(MemOp op)
+{
+    // Persist-kind stores must reach the DIMM even through the
+    // volatile Memory-mode cache; a clflushopt also drops the
+    // cached copy. Plain stores allocate write-back.
+    switch (op) {
+      case MemOp::Clflushopt:
+        return DramCache::kWriteThrough | DramCache::kInvalidate;
+      case MemOp::Clwb:
+      case MemOp::WriteNT:
+        return DramCache::kWriteThrough;
+      default:
+        return DramCache::kWriteBack;
+    }
+}
+
+void
+Imc::wpqKindMerge(Channel &ch, Addr line, std::uint8_t kind)
+{
+    for (std::size_t i = 0; i < ch.wpqLines.size(); ++i) {
+        if (ch.wpqLines[i] == line) {
+            ch.wpqKinds[i] |= kind;
+            return;
+        }
+    }
+}
+
 void
 Imc::attachTracer(obs::TraceRecorder &rec, const std::string &name)
 {
@@ -93,6 +134,10 @@ Imc::attachTracer(obs::TraceRecorder &rec, const std::string &name)
         ch.lblBusWrite = rec.label("bus_wr");
         ch.dimm->attachTracer(rec,
                               name + ".dimm" + std::to_string(i));
+        if (ch.dcache) {
+            ch.dcache->attachTracer(
+                rec, name + ".dcache" + std::to_string(i));
+        }
     }
 }
 
@@ -114,6 +159,10 @@ Imc::attachTracer(obs::TraceRecorder &core_rec,
         ch.lblBusWrite = ch.tracer->label("bus_wr");
         ch.dimm->attachTracer(*ch.tracer,
                               name + ".dimm" + std::to_string(i));
+        if (ch.dcache) {
+            ch.dcache->attachTracer(
+                *ch.tracer, name + ".dcache" + std::to_string(i));
+        }
     }
 }
 
@@ -254,16 +303,19 @@ Imc::issueWrite(RequestHandle h)
             --c.pendingArrivals;
             --c.pendingWriteArrivals;
             Addr line = alignDown(pool.get(h).addr, cacheLineSize);
+            std::uint8_t kind = writeKindOf(pool.get(h).op);
             noteQueued(c, h);
 
             if (wpqContains(c, line)) {
-                // Merge into the pending entry: already in ADR.
+                // Merge into the pending entry: already in ADR. The
+                // merged data inherits the strongest write kind.
                 c.sWpqMerges->inc();
+                wpqKindMerge(c, line, kind);
                 completeWrite(c, h);
                 return;
             }
             if (c.wpqLines.size() < cfg.wpqEntries) {
-                wpqInsert(c, line, h);
+                wpqInsert(c, line, kind, h);
                 wpqDrain(ci);
                 return;
             }
@@ -275,7 +327,8 @@ Imc::issueWrite(RequestHandle h)
 }
 
 void
-Imc::wpqInsert(Channel &ch, Addr line, RequestHandle h)
+Imc::wpqInsert(Channel &ch, Addr line, std::uint8_t kind,
+               RequestHandle h)
 {
     // The WPQ is the 512B ADR domain: it must never stretch beyond
     // its configured 8 x 64B slots.
@@ -284,6 +337,7 @@ Imc::wpqInsert(Channel &ch, Addr line, RequestHandle h)
                    "WPQ overflow: %zu lines, capacity %u",
                    ch.wpqLines.size(), cfg.wpqEntries);
     ch.wpqLines.push_back(line);
+    ch.wpqKinds.push_back(kind);
     ch.wpqFifo.push_back(line);
     completeWrite(ch, h);
 }
@@ -295,28 +349,44 @@ Imc::wpqDrain(unsigned ci)
     if (ch.wpqDrainBusy || ch.wpqFifo.empty())
         return;
     Addr line = ch.wpqFifo.front();
-    if (!ch.dimm->canAcceptWrite(line))
-        return; // Resumed by the DIMM's write-space callback.
+    // Memory mode drains into the DRAM cache, whose writeback window
+    // provides the backpressure; App Direct probes the DIMM LSQ.
+    bool can = ch.dcache ? ch.dcache->canAcceptWrite()
+                         : ch.dimm->canAcceptWrite(line);
+    if (!can)
+        return; // Resumed by the write-space callback.
 
     ch.wpqDrainBusy = true;
     ch.wpqFifo.pop_front();
     Tick arrival = busTransfer(ch, true, cacheLineSize);
     ch.q->schedule(arrival, [this, ci, line] {
         Channel &c = channels[ci];
-        // The drain only started because the DIMM had LSQ room; the
-        // slot must still be there when the line arrives.
-        VANS_REQUIRE("imc.wpq", c.q->curTick(),
-                     c.dimm->canAcceptWrite(line),
-                     "WPQ drained into a full DIMM LSQ (line %llx)",
-                     static_cast<unsigned long long>(line));
-        c.dimm->acceptWrite(line);
+        // The write kind is read at bus-arrival time, not drain
+        // start: stores can merge into a draining line mid-flight
+        // and must still strengthen its kind.
+        std::uint8_t kind = DramCache::kWriteBack;
         for (std::size_t i = 0; i < c.wpqLines.size(); ++i) {
             if (c.wpqLines[i] == line) {
                 // Membership only: order lives in wpqFifo.
+                kind = c.wpqKinds[i];
                 c.wpqLines[i] = c.wpqLines.back();
                 c.wpqLines.pop_back();
+                c.wpqKinds[i] = c.wpqKinds.back();
+                c.wpqKinds.pop_back();
                 break;
             }
+        }
+        if (c.dcache) {
+            c.dcache->accept(line, kind);
+        } else {
+            // The drain only started because the DIMM had LSQ room;
+            // the slot must still be there when the line arrives.
+            VANS_REQUIRE("imc.wpq", c.q->curTick(),
+                         c.dimm->canAcceptWrite(line),
+                         "WPQ drained into a full DIMM LSQ (line "
+                         "%llx)",
+                         static_cast<unsigned long long>(line));
+            c.dimm->acceptWrite(line);
         }
 
         // Reads held on this WPQ line may now proceed to the DIMM.
@@ -342,11 +412,13 @@ Imc::wpqDrain(unsigned ci)
             RequestHandle w = c.wpqWaiting.front();
             c.wpqWaiting.pop_front();
             Addr wline = alignDown(pool.get(w).addr, cacheLineSize);
+            std::uint8_t wkind = writeKindOf(pool.get(w).op);
             if (wpqContains(c, wline)) {
                 c.sWpqMerges->inc();
+                wpqKindMerge(c, wline, wkind);
                 completeWrite(c, w);
             } else {
-                wpqInsert(c, wline, w);
+                wpqInsert(c, wline, wkind, w);
             }
         }
 
@@ -404,7 +476,7 @@ Imc::startRead(unsigned ci, RequestHandle h)
     Tick cmd_arrival = busTransfer(ch, false, 0);
     ch.q->schedule(cmd_arrival, [this, ci, h] {
         Channel &c = channels[ci];
-        c.dimm->read(pool.get(h).addr, [this, ci, h](Tick) {
+        auto done = [this, ci, h](Tick) {
             // Data staged at the DIMM: grant + data return phase.
             Channel &c2 = channels[ci];
             noteServiced(c2, h);
@@ -443,7 +515,13 @@ Imc::startRead(unsigned ci, RequestHandle h)
             kern->toCore(ci, at_core, [p = &pool, h, at_core] {
                 p->get(h).complete(at_core);
             });
-        });
+        };
+        // Memory mode: the DRAM cache services the line (DRAM-hit
+        // latency or NVM-miss fetch); App Direct reads the DIMM.
+        if (c.dcache)
+            c.dcache->read(pool.get(h).addr, std::move(done));
+        else
+            c.dimm->read(pool.get(h).addr, std::move(done));
     });
 }
 
@@ -474,10 +552,14 @@ Imc::checkFences()
     // Seal only once the WPQs have drained: sealing earlier would
     // split 256B blocks whose lines are still crossing the bus into
     // separate partial drains, which the real fence does not do.
+    // In Memory mode the cache's writeback forwarding counts as part
+    // of the write pipeline: seal only after it stops handing lines
+    // to the DIMM, and complete only once those lines are media-done.
     bool wpq_quiet = true;
     for (const auto &ch : channels) {
         if (!ch.wpqLines.empty() || !ch.wpqWaiting.empty() ||
-            ch.wpqDrainBusy) {
+            ch.wpqDrainBusy ||
+            (ch.dcache && !ch.dcache->writeQuiescent())) {
             wpq_quiet = false;
             break;
         }
@@ -490,7 +572,9 @@ Imc::checkFences()
     bool quiet = wpq_quiet;
     for (const auto &ch : channels) {
         if (!ch.wpqLines.empty() || !ch.wpqWaiting.empty() ||
-            ch.wpqDrainBusy || !ch.dimm->writeQuiescent()) {
+            ch.wpqDrainBusy ||
+            (ch.dcache && !ch.dcache->writeQuiescent()) ||
+            !ch.dimm->writeQuiescent()) {
             quiet = false;
             break;
         }
@@ -638,6 +722,7 @@ Imc::quiescent() const
             !ch.wpqFifo.empty() || !ch.wpqWaiting.empty() ||
             ch.wpqDrainBusy || !ch.wpqReadHazards.empty() ||
             ch.rpqInFlight != 0 || !ch.rpqWaiting.empty() ||
+            (ch.dcache && !ch.dcache->quiescent()) ||
             !ch.dimm->quiescent()) {
             return false;
         }
@@ -665,6 +750,8 @@ Imc::snapshotTo(snapshot::StateSink &sink) const
             ch.q->snapshotTo(sink);
         ch.stats->snapshotTo(sink);
         ch.dimm->snapshotTo(sink);
+        if (ch.dcache)
+            ch.dcache->snapshotTo(sink);
         // adrVersions: durable state survives snapshots like it
         // survives power cuts. Sorted for a deterministic stream.
         std::vector<std::pair<Addr, std::uint64_t>> adr(
@@ -711,6 +798,8 @@ Imc::restoreFrom(snapshot::StateSource &src)
             ch.q->restoreFrom(src);
         ch.stats->restoreFrom(src);
         ch.dimm->restoreFrom(src);
+        if (ch.dcache)
+            ch.dcache->restoreFrom(src);
         ch.adrVersions.clear();
         std::uint64_t na = src.u64();
         for (std::uint64_t i = 0; i < na; ++i) {

@@ -48,6 +48,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "nvram/dimm.hh"
+#include "nvram/dram_cache.hh"
 #include "nvram/nvram_config.hh"
 
 namespace vans::nvram
@@ -116,6 +117,13 @@ class Imc
     unsigned numDimms() const
     {
         return static_cast<unsigned>(channels.size());
+    }
+
+    /** Channel @p ci's Memory-mode DRAM cache (nullptr when the
+     *  socket runs App Direct). */
+    DramCache *dramCache(unsigned ci)
+    {
+        return channels[ci].dcache.get();
     }
 
     StatGroup &stats() { return statGroup; }
@@ -205,6 +213,10 @@ class Imc
          *  sharded mode, the shared queue in classic mode. */
         EventQueue *q = nullptr;
         std::unique_ptr<NvramDimm> dimm;
+        /** Memory-mode DRAM cache between the channel front-end and
+         *  the DIMM (null in App Direct). Channel-side state: built
+         *  on this channel's queue, touched only by its shard. */
+        std::unique_ptr<DramCache> dcache;
         std::unique_ptr<StatGroup> stats;
         /** Cached per-channel counters: StatGroup::scalar takes a
          *  std::string key, which is off the hot path once these are
@@ -227,6 +239,14 @@ class Imc
         // simlint-transient(quiescent() REQUIREs the WPQ empty at
         // capture -- posted writes must have drained)
         std::vector<Addr> wpqLines;
+        /** Write kind per WPQ line, parallel to wpqLines and
+         *  OR-merged on WPQ merge: a plain store merging with a
+         *  clwb must still write through the Memory-mode cache.
+         *  Maintained in both modes (the App Direct drain ignores
+         *  it). */
+        // simlint-transient(parallel to wpqLines, which is empty at
+        // quiescence, the snapshot precondition)
+        std::vector<std::uint8_t> wpqKinds;
         // simlint-transient(drain order over an empty WPQ; see
         // quiescent())
         FifoRing<Addr> wpqFifo;
@@ -292,6 +312,13 @@ class Imc
     /** WPQ membership probe (linear over <= wpqEntries lines). */
     static bool wpqContains(const Channel &ch, Addr line);
 
+    /** The Memory-mode write kind a store op carries. */
+    static std::uint8_t writeKindOf(MemOp op);
+
+    /** OR @p kind into the pending WPQ entry for @p line. */
+    static void wpqKindMerge(Channel &ch, Addr line,
+                             std::uint8_t kind);
+
     /**
      * Claim the channel bus for a transfer. @return transfer end
      * (the bus is occupied from the computed start to the end).
@@ -310,7 +337,8 @@ class Imc
      */
     void completeWrite(Channel &ch, RequestHandle h);
 
-    void wpqInsert(Channel &ch, Addr line, RequestHandle h);
+    void wpqInsert(Channel &ch, Addr line, std::uint8_t kind,
+                   RequestHandle h);
     void wpqDrain(unsigned ci);
     void startRead(unsigned ci, RequestHandle h);
     void checkFences();

@@ -39,6 +39,18 @@ NvramConfig::validate() const
               "(got %u)",
               cacheLineSize, wcBufferBytes);
     }
+    if (memoryMode()) {
+        // The DRAM cache indexes sets with a mask; a non-power-of-two
+        // capacity (or one below a single line) would fold distinct
+        // lines onto the same set unevenly.
+        if (dcacheCapacity < cacheLineSize ||
+            (dcacheCapacity & (dcacheCapacity - 1)) != 0) {
+            fatal("[nvram] dcache_capacity must be a power of two "
+                  ">= %u (got %llu)",
+                  cacheLineSize,
+                  static_cast<unsigned long long>(dcacheCapacity));
+        }
+    }
 }
 
 NvramConfig
@@ -52,6 +64,15 @@ NvramConfig::fromConfig(const Config &cfg)
 {
     NvramConfig c;
     const std::string s = "nvram";
+    std::string mode = cfg.get(s, "mode", "app_direct");
+    if (mode == "memory") {
+        c.mode = SystemMode::Memory;
+    } else if (mode != "app_direct" && mode != "appdirect") {
+        fatal("[nvram] mode must be app_direct or memory (got %s)",
+              mode.c_str());
+    }
+    c.dcacheCapacity =
+        cfg.getU64(s, "dcache_capacity", c.dcacheCapacity);
     c.numDimms = static_cast<unsigned>(
         cfg.getU64(s, "num_dimms", c.numDimms));
     c.interleaved = cfg.getBool(s, "interleaved", c.interleaved);

@@ -22,10 +22,28 @@
 namespace vans::nvram
 {
 
+/**
+ * Operating mode of the socket (paper section II-A). App Direct
+ * exposes the NVM DIMMs directly -- load/store latency is media
+ * latency and flush instructions are the persistence mechanism.
+ * Memory mode interposes a direct-mapped, line-granularity DRAM
+ * cache in front of each NVM channel: hits complete at DRAM
+ * latency, misses fetch the line from the DIMM, dirty evictions
+ * write it back. The cache is volatile, so Memory mode offers no
+ * persistence guarantee (persistSupported() is false); flush-kind
+ * stores still write through to the DIMM.
+ */
+enum class SystemMode : std::uint8_t
+{
+    AppDirect,
+    Memory,
+};
+
 /** Complete parameter set for one simulated NVRAM memory system. */
 struct NvramConfig
 {
     // ---- Topology -------------------------------------------------
+    SystemMode mode = SystemMode::AppDirect;
     unsigned numDimms = 1;
     bool interleaved = false;
     std::uint64_t interleaveBytes = 4096; ///< Paper section III-D.
@@ -69,6 +87,15 @@ struct NvramConfig
     unsigned mediaPartitions = 6;
     double mediaReadNs = 150;
     double mediaWriteNs = 500;
+
+    // ---- Memory-mode DRAM cache ------------------------------------
+    /** Per-channel capacity of the direct-mapped DRAM cache (64B
+     *  lines). Power of two; capacity / 64 is the set count. */
+    std::uint64_t dcacheCapacity = 64ull << 20;
+    /** Timing of the DRAM device serving as the cache (a full-size
+     *  DDR4-2666 DIMM on the same channel, not the small on-DIMM
+     *  device that backs the AIT). */
+    dram::DramTiming dcacheTiming = dram::DramTiming::ddr4_2666();
 
     // ---- Wear leveling ---------------------------------------------
     std::uint64_t wearBlockBytes = 64 << 10;
@@ -119,6 +146,9 @@ struct NvramConfig
      * at construction.
      */
     void validate() const;
+
+    /** True when the socket runs with the DRAM cache in front. */
+    bool memoryMode() const { return mode == SystemMode::Memory; }
 
     /** Table V defaults (what the validated runs use). */
     static NvramConfig optaneDefault();

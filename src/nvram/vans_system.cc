@@ -198,6 +198,12 @@ VansSystem::metricsInto(MetricsRegistry &reg)
         reg.add(d.ait().mediaDev().stats());
         reg.add(d.ait().wearLeveler().stats());
         reg.add(d.ait().dramCtrl().stats());
+        if (DramCache *dc = imcModel.dramCache(i)) {
+            // Memory mode: hit-ratio / dirty-evict / write-through
+            // counters plus the cache DIMM's DDR4 controller.
+            reg.add(dc->stats());
+            reg.add(dc->dramCtrl().stats());
+        }
     }
     reg.add(reqStats);
     // Event-kernel counters are sampled fresh on each export. Every
@@ -271,6 +277,17 @@ VansSystem::totalMediaWrites()
     for (unsigned i = 0; i < imcModel.numDimms(); ++i) {
         n += imcModel.dimm(i).ait().mediaDev().stats().scalarValue(
             "chunk_writes");
+    }
+    return n;
+}
+
+std::uint64_t
+VansSystem::dcacheScalarSum(const std::string &stat)
+{
+    std::uint64_t n = 0;
+    for (unsigned i = 0; i < imcModel.numDimms(); ++i) {
+        if (DramCache *dc = imcModel.dramCache(i))
+            n += dc->stats().scalarValue(stat);
     }
     return n;
 }

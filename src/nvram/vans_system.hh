@@ -70,6 +70,13 @@ class VansSystem : public MemorySystem
     std::uint64_t totalMediaReads();
 
     /**
+     * Sum of one Memory-mode DRAM-cache scalar ("hits", "misses",
+     * "dirty_evicts", "nvm_line_writes", ...) over all channels.
+     * Zero in App Direct mode (no caches exist).
+     */
+    std::uint64_t dcacheScalarSum(const std::string &stat);
+
+    /**
      * The attached verifier, or nullptr when the system runs
      * unverified ([nvram] verify and VANS_VERIFY both off).
      */
@@ -110,8 +117,14 @@ class VansSystem : public MemorySystem
     void restoreFrom(snapshot::StateSource &src) override;
 
     /** Persistence domain (common/crash.hh): the WPQ is the ADR
-     *  durability boundary this system exposes. */
-    bool persistSupported() const override { return true; }
+     *  durability boundary this system exposes. Memory mode opts
+     *  out: its DRAM cache is volatile, so dirty write-back lines
+     *  die with a power cut and the crash harness's App Direct
+     *  durability contract does not hold. */
+    bool persistSupported() const override
+    {
+        return !cfg.memoryMode();
+    }
     void enablePersistTracking() override
     {
         imcModel.enablePersistTracking();

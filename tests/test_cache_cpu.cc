@@ -75,6 +75,49 @@ TEST(Cache, InvalidateReportsDirty)
     EXPECT_FALSE(c.contains(0));
 }
 
+// Regression: access() always victimized lruOrder.back(), even when
+// an invalidated way sat free in the set. After a clflushopt the
+// next fill evicted a live (possibly dirty) neighbour while the
+// freed way stayed unused -- so clflushopt effectively cost *two*
+// lines and a spurious dirty writeback.
+TEST(Cache, FillPrefersInvalidatedWayOverLruVictim)
+{
+    // 512B, 2 ways, 4 sets: addresses 0/256/512 all map to set 0.
+    Cache c(CacheParams{"c", 512, 2, 64, 1.0});
+    c.access(0, true);    // A, dirty.
+    c.access(256, false); // B, clean; LRU order is now [B, A].
+    c.invalidate(256);    // clflushopt B: its way is free.
+    // Fill C: it must land in B's freed way, not evict dirty A.
+    auto r = c.access(512, false);
+    EXPECT_FALSE(r.writeback)
+        << "fill evicted a live dirty line past a free way";
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_TRUE(c.contains(512));
+    EXPECT_TRUE(c.access(0, false).hit);
+}
+
+// The Empirical Guide's post-flush contract for the two flush ops:
+// clwb leaves the line resident (the next access hits), clflushopt
+// evicts it (the next access misses) without disturbing neighbours.
+TEST(Hierarchy, ClwbStaysResidentClflushoptEvicts)
+{
+    Hierarchy h;
+
+    // clwb: writeback due, line still resident at L1.
+    h.access(0x40, true);
+    EXPECT_TRUE(h.clean(0x40));
+    EXPECT_EQ(h.access(0x40, false).hitLevel, 1u);
+
+    // clflushopt: writeback due, next access is a full LLC miss.
+    h.access(0x80, true);
+    EXPECT_TRUE(h.invalidate(0x80));
+    EXPECT_TRUE(h.access(0x80, false).llcMiss);
+
+    // Flushing a clean line owes no writeback either way.
+    EXPECT_FALSE(h.clean(0x40));
+    EXPECT_FALSE(h.invalidate(0x100));
+}
+
 TEST(Cache, MissRateTracked)
 {
     Cache c(CacheParams{"c", 4096, 4, 64, 1.0});

@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <cmath>
 #include <cstddef>
 #include <memory>
 #include <sstream>
@@ -271,6 +273,231 @@ TEST(Metrics, JsonCarriesExactStatGroupValues)
     want << "\"p50\": " << d.percentile(0.5)
          << ", \"p99\": " << d.percentile(0.99);
     EXPECT_NE(json.find(want.str()), std::string::npos) << json;
+}
+
+namespace
+{
+
+/**
+ * Strict recursive-descent JSON parser: objects, arrays, strings,
+ * numbers, true/false/null and nothing else. Unlike jsonBalanced it
+ * rejects bare `nan`/`inf` tokens, trailing garbage and malformed
+ * numbers -- exactly what a cold-counter registry used to risk
+ * emitting. Returns true when the whole input is one valid value.
+ */
+struct StrictJson
+{
+    const std::string &s;
+    std::size_t i = 0;
+
+    explicit StrictJson(const std::string &text) : s(text) {}
+
+    void skipWs()
+    {
+        while (i < s.size() && (s[i] == ' ' || s[i] == '\n' ||
+                                s[i] == '\t' || s[i] == '\r'))
+            ++i;
+    }
+
+    bool lit(const char *word)
+    {
+        std::size_t n = std::string(word).size();
+        if (s.compare(i, n, word) != 0)
+            return false;
+        i += n;
+        return true;
+    }
+
+    bool string()
+    {
+        if (i >= s.size() || s[i] != '"')
+            return false;
+        ++i;
+        while (i < s.size() && s[i] != '"') {
+            if (s[i] == '\\')
+                ++i;
+            ++i;
+        }
+        if (i >= s.size())
+            return false;
+        ++i;
+        return true;
+    }
+
+    bool number()
+    {
+        std::size_t start = i;
+        if (i < s.size() && s[i] == '-')
+            ++i;
+        std::size_t digits = i;
+        while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])))
+            ++i;
+        if (i == digits)
+            return false;
+        if (i < s.size() && s[i] == '.') {
+            ++i;
+            while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])))
+                ++i;
+        }
+        if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+            ++i;
+            if (i < s.size() && (s[i] == '+' || s[i] == '-'))
+                ++i;
+            digits = i;
+            while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])))
+                ++i;
+            if (i == digits)
+                return false;
+        }
+        return i > start;
+    }
+
+    bool value()
+    {
+        skipWs();
+        if (i >= s.size())
+            return false;
+        switch (s[i]) {
+          case '{': {
+            ++i;
+            skipWs();
+            if (i < s.size() && s[i] == '}') {
+                ++i;
+                return true;
+            }
+            for (;;) {
+                skipWs();
+                if (!string())
+                    return false;
+                skipWs();
+                if (i >= s.size() || s[i] != ':')
+                    return false;
+                ++i;
+                if (!value())
+                    return false;
+                skipWs();
+                if (i < s.size() && s[i] == ',') {
+                    ++i;
+                    continue;
+                }
+                break;
+            }
+            if (i >= s.size() || s[i] != '}')
+                return false;
+            ++i;
+            return true;
+          }
+          case '[': {
+            ++i;
+            skipWs();
+            if (i < s.size() && s[i] == ']') {
+                ++i;
+                return true;
+            }
+            for (;;) {
+                if (!value())
+                    return false;
+                skipWs();
+                if (i < s.size() && s[i] == ',') {
+                    ++i;
+                    continue;
+                }
+                break;
+            }
+            if (i >= s.size() || s[i] != ']')
+                return false;
+            ++i;
+            return true;
+          }
+          case '"':
+            return string();
+          case 't':
+            return lit("true");
+          case 'f':
+            return lit("false");
+          case 'n':
+            return lit("null");
+          default:
+            return number();
+        }
+    }
+
+    bool document()
+    {
+        if (!value())
+            return false;
+        skipWs();
+        return i == s.size();
+    }
+};
+
+bool
+strictJsonParse(const std::string &text)
+{
+    StrictJson p(text);
+    return p.document();
+}
+
+} // namespace
+
+// Regression: a registry holding stats that never saw a sample
+// (every Memory Mode counter before its first access) used to emit
+// the accessors' 0 fallbacks, making a cold distribution
+// indistinguishable from one that measured zero. Unmeasured
+// min/max/mean/percentiles must serialize as null -- and the
+// document must still satisfy a strict JSON parser.
+TEST(Metrics, EmptyStatsSerializeAsNullAndRoundTrip)
+{
+    StatGroup g("cold.group");
+    g.scalar("touched").inc(0);
+    g.average("empty_avg");       // Registered, never sampled.
+    g.distribution("empty_dist"); // Registered, never sampled.
+    auto &one = g.distribution("one_sample");
+    one.sample(42.5);
+
+    MetricsRegistry reg;
+    reg.add(g);
+    std::string json = reg.toJson();
+
+    // Strict round trip: the whole document is one valid JSON value.
+    EXPECT_TRUE(strictJsonParse(json)) << json;
+
+    // The empty average and distribution report null, not 0.
+    EXPECT_NE(json.find("\"empty_avg\": {\"mean\": null, "
+                        "\"min\": null, \"max\": null, \"count\": 0}"),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"empty_dist\": {\"mean\": null, "
+                        "\"min\": null, \"max\": null, "
+                        "\"p50\": null, \"p99\": null, "
+                        "\"p999\": null, \"count\": 0}"),
+              std::string::npos)
+        << json;
+
+    // One sample: every percentile is that sample, numerically.
+    EXPECT_NE(json.find("\"one_sample\": {\"mean\": 42.5, "
+                        "\"min\": 42.5, \"max\": 42.5, "
+                        "\"p50\": 42.5, \"p99\": 42.5, "
+                        "\"p999\": 42.5, \"count\": 1}"),
+              std::string::npos)
+        << json;
+}
+
+TEST(Metrics, WhollyEmptyRegistryRoundTrips)
+{
+    // Zero groups: the degenerate document must also parse.
+    MetricsRegistry reg;
+    EXPECT_TRUE(strictJsonParse(reg.toJson())) << reg.toJson();
+
+    // A NaN that reaches a sample stream (a ratio of two zero
+    // counters, say) must not leak a bare nan token into the JSON.
+    StatGroup g("poisoned.group");
+    g.average("ratio").sample(std::nan(""));
+    reg.add(g);
+    std::string json = reg.toJson();
+    EXPECT_TRUE(strictJsonParse(json)) << json;
+    EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"mean\": null"), std::string::npos) << json;
 }
 
 TEST(Metrics, SystemRegistersEveryComponentGroup)

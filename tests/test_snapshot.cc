@@ -427,6 +427,49 @@ TEST(ForkFidelity, ColdFallbackStillDeterministic)
         EXPECT_TRUE(serial[i] == par[i]) << "point " << i;
 }
 
+// ---- Quiescence drain ----------------------------------------------
+
+// Regression for the refresh re-arm hang: 6 records x 64B = 384B =
+// 1.5 RMW lines, so the trailing partial line forces a
+// read-modify-write fill that touches the on-DIMM DRAM -- whose
+// tREFI refresh wakeup then re-arms forever. Any drain loop keyed on
+// event-queue emptiness spins for eternity on this shape (the
+// pre-fix failure mode: 768B worked only because 3 *full* RMW lines
+// never touch DRAM). MemorySystem::drain keys on the quiescent()
+// state predicate and must return promptly.
+TEST(QuiescenceDrain, PartialRmwLineWorkloadDrainsWithoutTimeout)
+{
+    vans::test::VansFixture f(vans::test::smallConfig());
+    for (unsigned i = 0; i < 6; ++i) {
+        Addr a = static_cast<Addr>(i) * cacheLineSize;
+        f.drv.write(a); // NT store: completes at ADR acceptance.
+        f.drv.sfence();
+    }
+    // Downstream media/RMW traffic is still in flight here; idle the
+    // world out through the shared helper (bounded: a hang fails the
+    // REQUIRE instead of wedging ctest).
+    f.drv.drain();
+    EXPECT_TRUE(f.sys.quiescent());
+    // The pair that encodes the bug: the world is quiescent, yet its
+    // queue is NOT empty -- the refresh timer stays armed. Emptiness
+    // is never a termination condition.
+    EXPECT_FALSE(f.eq.empty());
+}
+
+TEST(QuiescenceDrain, CachedPersistShapeAlsoDrains)
+{
+    // The store+clwb+sfence spelling of the same 6-record shape,
+    // through the block helper (clwb every line, then sfence).
+    vans::test::VansFixture f(vans::test::smallConfig());
+    f.drv.persistBlockCached(0, 6 * cacheLineSize);
+    f.sys.drain();
+    EXPECT_TRUE(f.sys.quiescent());
+    EXPECT_FALSE(f.eq.empty());
+    // Draining an already-quiescent world is a cheap no-op.
+    f.sys.drain();
+    EXPECT_TRUE(f.sys.quiescent());
+}
+
 TEST(ForkFidelityDeathTest, CapturingNonQuiescentWorldPanics)
 {
     setQuiet(true);

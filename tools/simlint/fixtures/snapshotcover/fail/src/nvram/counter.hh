@@ -4,28 +4,31 @@
 namespace vans::nvram
 {
 
+/** Direct-mapped cache tag store (Memory-mode front-end shape). */
 class Counter
 {
   public:
     void snapshotTo(snapshot::StateSink &sink) const
     {
-        sink.u64(ticks);
-        sink.u64(events);
+        sink.u64(tags.size());
+        for (unsigned long long t : tags)
+            sink.u64(t);
     }
 
     void restoreFrom(snapshot::StateSource &src)
     {
-        ticks = src.u64();
-        events = src.u64();
+        tags.resize(src.u64());
+        for (auto &t : tags)
+            t = src.u64();
     }
 
   private:
-    unsigned long long ticks = 0;
-    unsigned long long events = 0;
-    // Persist-domain state: write-combining fill that snapshotTo and
-    // restoreFrom both forget -- ADR durability silently lost across
-    // a snapshot, the exact bug class snapshotcover exists to catch.
-    unsigned long long wcFill = 0;
+    std::vector<unsigned long long> tags;
+    // The dirty-bit array that snapshotTo and restoreFrom both
+    // forget: a forked world restores every cached line as clean,
+    // drops the victim writebacks, and silently diverges from the
+    // warm prototype -- the exact bug class snapshotcover catches.
+    std::vector<bool> dirtyBits;
 };
 
 } // namespace vans::nvram

@@ -4,51 +4,52 @@
 namespace vans::nvram
 {
 
+/** Direct-mapped cache tag store (Memory-mode front-end shape). */
 class Counter
 {
   public:
     void snapshotTo(snapshot::StateSink &sink) const
     {
-        sink.u64(ticks);
-        sink.u64(events);
-        sink.u64(wcFill);
-        sink.u64(adrVersions.size());
+        sink.u64(tags.size());
+        for (unsigned long long i = 0; i < tags.size(); ++i) {
+            sink.u64(tags[i]);
+            sink.boolean(dirtyBits[i]);
+        }
     }
 
     void restoreFrom(snapshot::StateSource &src)
     {
-        ticks = src.u64();
-        events = src.u64();
-        wcFill = src.u64();
-        adrVersions.clear();
+        tags.resize(src.u64());
+        dirtyBits.resize(tags.size());
+        for (unsigned long long i = 0; i < tags.size(); ++i) {
+            tags[i] = src.u64();
+            dirtyBits[i] = src.boolean();
+        }
     }
 
   private:
-    unsigned long long ticks = 0;
-    unsigned long long events = 0;
-    // simlint-transient(scratch: recomputed by the first event after
-    // a restore, never read before then)
-    unsigned long long lastDelta = 0;
+    // The architectural cache image: tag store plus the dirty bits
+    // that decide which victims must write back to the media. Both
+    // are serialized together -- a restored world owes the DIMM
+    // exactly the writebacks the prototype owed.
+    std::vector<unsigned long long> tags;
+    std::vector<bool> dirtyBits;
 
-    // The persist-domain shape from the ADR model: durable state
-    // (the line->version map and the write-combining fill) is
-    // serialized; an in-flight fence cannot exist at quiescence, the
-    // snapshot precondition, so its bookkeeping is transient.
-    std::unordered_map<unsigned long long, unsigned long long>
-        adrVersions;
-    unsigned long long wcFill = 0;
-    struct PendingSfence
+    // MSHR bookkeeping cannot outlive quiescence (the snapshot
+    // precondition drains every in-flight fill), so it is transient
+    // by design rather than serialized.
+    struct PendingFill
     {
-        // simlint-transient(dies with its pendingSfences entry
-        // before any snapshot)
-        unsigned long long id = 0;
-        // simlint-transient(same: earliest completion of an entry
-        // that cannot outlive quiescence)
-        unsigned long long readyAt = 0;
+        // simlint-transient(dies with its fetching entry before any
+        // snapshot)
+        unsigned long long line = 0;
+        // simlint-transient(same: issue tick of a fill that cannot
+        // outlive quiescence)
+        unsigned long long issuedAt = 0;
     };
-    // simlint-transient(a pending fence implies outstanding writes,
-    // which the snapshot precondition excludes)
-    PendingSfence pendingSfence;
+    // simlint-transient(an in-flight fill implies a non-quiescent
+    // cache, which the snapshot precondition excludes)
+    PendingFill pendingFill;
 };
 
 } // namespace vans::nvram

@@ -4,20 +4,23 @@
 namespace vans::dram
 {
 
+/** Cache-front-end accounting (Memory-mode DRAM cache shape). */
 class Tally
 {
   public:
     void statsInto(StatGroup &stats) const
     {
-        stats.scalar("row_hits").set(rowHits.value());
+        stats.scalar("fills").set(fills.value());
+        stats.scalar("dirty_evicts").set(dirtyEvicts.value());
     }
 
   private:
-    StatScalar rowHits;
-    // A persistence-op counter (sfences accepted into ADR) that
-    // never reaches a StatGroup: the run reports nothing about the
-    // fence traffic it simulated.
-    StatScalar sfences;
+    StatScalar fills;
+    StatScalar dirtyEvicts;
+    // The hit-ratio average never reaches a StatGroup: the one
+    // number a capacity-planning run needs from a DRAM cache is
+    // sampled on every access and then reported nowhere.
+    StatAverage hitRatio;
 };
 
 } // namespace vans::dram

@@ -4,23 +4,24 @@
 namespace vans::dram
 {
 
+/** Cache-front-end accounting (Memory-mode DRAM cache shape). */
 class Tally
 {
   public:
     void statsInto(StatGroup &stats) const
     {
-        stats.scalar("row_hits").set(rowHits.value());
-        stats.scalar("sfences").set(sfences.value());
-        stats.scalar("wc_partial_drains").set(wcPartialDrains.value());
+        stats.scalar("fills").set(fills.value());
+        stats.scalar("dirty_evicts").set(dirtyEvicts.value());
+        stats.average("hit_ratio").merge(hitRatio);
     }
 
   private:
-    StatScalar rowHits;
-    // The persistence-op counters every ADR-capable component must
-    // report: fence acceptances and Empirical-Guide partial
-    // write-combining drains.
-    StatScalar sfences;
-    StatScalar wcPartialDrains;
+    // The counters every cache front-end must report: fill and
+    // victim-writeback traffic plus the hit ratio that sizes the
+    // near-memory tier.
+    StatScalar fills;
+    StatScalar dirtyEvicts;
+    StatAverage hitRatio;
 };
 
 } // namespace vans::dram
